@@ -1,0 +1,154 @@
+// Command cordbench regenerates the paper's evaluation: Table 1, Figures
+// 10–17, the §2.3–2.4 area arithmetic, and the §3.3 record/replay
+// verification. Select individual artefacts with flags, or run everything
+// with -all. The detection figures (10, 12–17) share one injection campaign,
+// so requesting any of them runs it once.
+//
+// Usage:
+//
+//	cordbench -all -injections 60
+//	cordbench -fig12 -fig16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"cord/internal/experiment"
+)
+
+func main() {
+	var (
+		all        = flag.Bool("all", false, "produce every table and figure")
+		table1     = flag.Bool("table1", false, "Table 1: application catalogue")
+		fig10      = flag.Bool("fig10", false, "Fig 10: injections causing data races")
+		fig11      = flag.Bool("fig11", false, "Fig 11: execution-time overhead")
+		fig12      = flag.Bool("fig12", false, "Fig 12: CORD problem detection")
+		fig13      = flag.Bool("fig13", false, "Fig 13: CORD raw race detection")
+		fig14      = flag.Bool("fig14", false, "Fig 14: buffering-limit problem detection")
+		fig15      = flag.Bool("fig15", false, "Fig 15: buffering-limit raw races")
+		fig16      = flag.Bool("fig16", false, "Fig 16: D sweep, problems")
+		fig17      = flag.Bool("fig17", false, "Fig 17: D sweep, raw races")
+		area       = flag.Bool("area", false, "chip-area overhead arithmetic")
+		replayFl   = flag.Bool("replay", false, "record/replay verification")
+		dirFl      = flag.Bool("directory", false, "directory-coherence extension traffic")
+		dirProcs   = flag.Int("directory-procs", 16, "processor count for -directory")
+		injections = flag.Int("injections", 40, "injection runs per application")
+		scale      = flag.Int("scale", 1, "workload scale for detection figures")
+		ovScale    = flag.Int("overhead-scale", 4, "workload scale for Fig 11")
+		seed       = flag.Uint64("seed", 0xC0DD, "campaign base seed")
+		quiet      = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *fig10, *fig11, *fig12, *fig13 = true, true, true, true, true
+		*fig14, *fig15, *fig16, *fig17, *area, *replayFl, *dirFl = true, true, true, true, true, true, true
+	}
+	if !(*table1 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17 || *area || *replayFl || *dirFl) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiment.Options{Scale: *scale, Injections: *injections, BaseSeed: *seed}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	out := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *table1 {
+		rows, err := experiment.RunTable1(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, "TABLE 1 — applications at this scale")
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		experiment.RenderTable1(rows, tw)
+		tw.Flush()
+		fmt.Fprintln(out)
+	}
+
+	if *area {
+		f := experiment.AreaFigure()
+		if err := f.Render(out); err != nil {
+			fail(err)
+		}
+	}
+
+	needDetection := *fig10 || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17
+	if needDetection {
+		res, err := experiment.RunDetection(opts)
+		if err != nil {
+			fail(err)
+		}
+		figs := []struct {
+			want bool
+			fig  experiment.Figure
+		}{
+			{*fig10, res.Fig10()},
+			{*fig12, res.Fig12()},
+			{*fig13, res.Fig13()},
+			{*fig14, res.Fig14()},
+			{*fig15, res.Fig15()},
+			{*fig16, res.Fig16()},
+			{*fig17, res.Fig17()},
+		}
+		for _, f := range figs {
+			if !f.want {
+				continue
+			}
+			fig := f.fig
+			if err := fig.Render(out); err != nil {
+				fail(err)
+			}
+		}
+		if n := res.FalsePositives(); n != 0 {
+			fmt.Fprintf(out, "WARNING: %d oracle-unconfirmed CORD reports (expected 0)\n", n)
+		} else {
+			fmt.Fprintln(out, "false positives across the campaign: 0 (as the paper claims)")
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *fig11 {
+		ovOpts := opts
+		ovOpts.Scale = *ovScale
+		_, fig, err := experiment.RunOverhead(ovOpts)
+		if err != nil {
+			fail(err)
+		}
+		if err := fig.Render(out); err != nil {
+			fail(err)
+		}
+	}
+
+	if *replayFl {
+		rows, err := experiment.RunReplayCheck(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out, "RECORD/REPLAY — §3.3 verification")
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		experiment.RenderReplay(rows, tw)
+		tw.Flush()
+		fmt.Fprintln(out)
+	}
+
+	if *dirFl {
+		rows, err := experiment.RunDirectory(opts, *dirProcs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "DIRECTORY EXTENSION — §2.5, %d processors\n", *dirProcs)
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		experiment.RenderDirectory(rows, *dirProcs, tw)
+		tw.Flush()
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,96 @@
+// Command cordlog inspects a binary CORD order log (written by cordreplay
+// -log or OrderLog.EncodeTo): it prints per-thread statistics, the epoch
+// schedule, and optionally dumps entries.
+//
+// Usage:
+//
+//	cordreplay -app fft -log /tmp/fft.cordlog
+//	cordlog /tmp/fft.cordlog
+//	cordlog -dump -n 20 /tmp/fft.cordlog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"cord/internal/record"
+)
+
+func main() {
+	var (
+		dump    = flag.Bool("dump", false, "dump raw entries")
+		n       = flag.Int("n", 50, "max entries to dump")
+		threads = flag.Int("threads", 64, "thread-count bound for the schedule")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cordlog [-dump] [-n N] <logfile>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordlog: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, err := record.DecodeFrom(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordlog: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d entries, %d bytes payload\n", flag.Arg(0), log.Len(), log.SizeBytes())
+
+	// Per-thread aggregates.
+	type agg struct {
+		entries int
+		instr   uint64
+	}
+	byThread := map[int]*agg{}
+	maxThread := 0
+	for _, e := range log.Entries() {
+		a := byThread[int(e.Thread)]
+		if a == nil {
+			a = &agg{}
+			byThread[int(e.Thread)] = a
+		}
+		a.entries++
+		a.instr += uint64(e.Instr)
+		if int(e.Thread) > maxThread {
+			maxThread = int(e.Thread)
+		}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "thread\tepochs\tinstructions\tbytes/kinstr")
+	for t := 0; t <= maxThread; t++ {
+		a := byThread[t]
+		if a == nil {
+			continue
+		}
+		density := float64(a.entries*record.EntryBytes) / float64(a.instr) * 1000
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.1f\n", t, a.entries, a.instr, density)
+	}
+	w.Flush()
+
+	if maxThread+1 <= *threads {
+		if eps, err := log.Schedule(maxThread + 1); err == nil {
+			fmt.Printf("schedule: %d epochs, logical time span %d..%d\n",
+				len(eps), eps[0].Time, eps[len(eps)-1].Time)
+		} else {
+			fmt.Printf("schedule: not derivable: %v\n", err)
+		}
+	}
+
+	if *dump {
+		for i, e := range log.Entries() {
+			if i >= *n {
+				fmt.Printf("... %d more\n", log.Len()-i)
+				break
+			}
+			fmt.Printf("%4d %v\n", i, e)
+		}
+	}
+}

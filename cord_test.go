@@ -1,0 +1,112 @@
+package cord_test
+
+import (
+	"math"
+	"testing"
+
+	"cord"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	prog := cord.AppByName("raytrace").Build(1, 4)
+	det := cord.NewDetector(cord.DetectorConfig{Threads: 4, D: 16, Record: true})
+	res, err := cord.Run(prog, cord.RunConfig{Seed: 1, Jitter: 7, Observers: []cord.Observer{det}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hung || res.Accesses == 0 {
+		t.Fatalf("bad run: %+v", res)
+	}
+	if det.RaceCount() != 0 {
+		t.Fatalf("race-free program reported %d races", det.RaceCount())
+	}
+	if det.Log().Len() == 0 {
+		t.Fatal("recording produced no log")
+	}
+}
+
+func TestCustomProgram(t *testing.T) {
+	al := cord.NewAllocator()
+	lock := cord.NewMutex(al)
+	data := al.Alloc(64)
+	bar := cord.NewBarrier(al, 3)
+	prog := cord.Program{
+		Name:    "custom",
+		Threads: 3,
+		Body: func(th int, env *cord.Env) {
+			lock.Lock(env)
+			env.Write(data.Word(0), env.Read(data.Word(0))+1)
+			lock.Unlock(env)
+			bar.Wait(env)
+			env.Write(data.Word(1+th), env.Read(data.Word(0)))
+		},
+	}
+	res, err := cord.Run(prog, cord.RunConfig{Seed: 7, Jitter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < 3; th++ {
+		if v := res.Mem.Load(data.Word(1 + th)); v != 3 {
+			t.Fatalf("thread %d read %d after barrier, want 3", th, v)
+		}
+	}
+}
+
+func TestInjectedRaceDetectedAndReplayed(t *testing.T) {
+	prog := cord.AppByName("raytrace").Build(1, 4)
+	det := cord.NewDetector(cord.DetectorConfig{Threads: 4, D: 16})
+	ideal := cord.NewIdealDetector(4)
+	res, err := cord.Run(prog, cord.RunConfig{
+		Seed: 2, Jitter: 7, InjectSkip: 5,
+		Observers: []cord.Observer{ideal, det},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hung {
+		t.Skip("injection deadlocked this seed")
+	}
+	if ideal.RaceCount() > 0 && det.RaceCount() == 0 {
+		t.Log("CORD missed this injection (possible; not an error)")
+	}
+	for _, r := range det.Races() {
+		if !ideal.Confirms(r) {
+			t.Fatalf("false positive through public API: %v", r)
+		}
+	}
+	out, err := cord.RecordAndReplay(cord.AppByName("raytrace").Build(1, 4),
+		cord.ReplayOptions{Seed: 2, Jitter: 7, InjectSkip: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Recorded.Hung && !out.Match {
+		t.Fatalf("replay mismatch: %s", out.Mismatch)
+	}
+}
+
+func TestAreaModelMatchesPaper(t *testing.T) {
+	m := cord.DefaultAreaModel()
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 0.015 }
+	if !approx(m.ScalarOverhead(), 0.19) {
+		t.Fatalf("scalar overhead = %.3f, want ~0.19", m.ScalarOverhead())
+	}
+	if !approx(m.VectorPerLineOverhead(), 0.38) {
+		t.Fatalf("per-line vector overhead = %.3f, want ~0.38", m.VectorPerLineOverhead())
+	}
+	if !approx(m.VectorPerWordOverhead(), 2.00) {
+		t.Fatalf("per-word vector overhead = %.3f, want ~2.00", m.VectorPerWordOverhead())
+	}
+}
+
+func TestAppsCatalogue(t *testing.T) {
+	apps := cord.Apps()
+	if len(apps) != 12 {
+		t.Fatalf("Table 1 lists 12 applications, got %d", len(apps))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppByName should panic on unknown app")
+		}
+	}()
+	cord.AppByName("doom")
+}

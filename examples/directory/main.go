@@ -1,0 +1,54 @@
+// Directory: the paper's §2.5 extension end to end. The same CORD mechanism
+// runs over directory-based coherence instead of a snooping bus: race checks
+// are forwarded point-to-point to the line's actual sharers, and the memory
+// timestamps live at the home node. Detection is provably identical — this
+// example demonstrates it and shows the message-count advantage at sixteen
+// processors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"cord"
+)
+
+func main() {
+	const procs = 16
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tsnoop races\tdirectory races\tlogs equal\tforwards/request\tvs 15 snoops")
+
+	for _, name := range []string{"raytrace", "ocean", "fft", "water-sp"} {
+		app := cord.AppByName(name)
+
+		// Run the SAME execution under both protocol variants.
+		snoop := cord.NewDetector(cord.DetectorConfig{Threads: procs, Procs: procs, D: 16, Record: true})
+		dir := cord.NewDirectory(procs)
+		dird := cord.NewDetector(cord.DetectorConfig{Threads: procs, Procs: procs, D: 16, Record: true, Directory: dir})
+		_, err := cord.Run(app.Build(1, procs), cord.RunConfig{
+			Seed: 7, Jitter: 7, Procs: procs, InjectSkip: 5, // one removed sync instance
+			Observers: []cord.Observer{snoop, dird},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		logsEqual := snoop.Log().Len() == dird.Log().Len()
+		for i, e := range snoop.Log().Entries() {
+			if !logsEqual || e != dird.Log().Entries()[i] {
+				logsEqual = false
+				break
+			}
+		}
+		st := dir.Stats()
+		perReq := float64(st.Forwards) / float64(st.Requests)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.2f\t%.0f%% fewer msgs\n",
+			name, snoop.RaceCount(), dird.RaceCount(), logsEqual,
+			perReq, (1-perReq/float64(procs-1))*100)
+	}
+	w.Flush()
+	fmt.Println("\nidentical detection and identical order logs, at a fraction of the")
+	fmt.Println("messages — the directory extension scales CORD past bus-based machines")
+}

@@ -1,0 +1,50 @@
+// Overhead: measure what always-on CORD costs on the paper's machine model
+// (§3.1: 4-issue cores, 8 KB L1 / 32 KB L2, snooping data bus, half-rate
+// address/timestamp bus, 600-cycle memory). Each application runs twice —
+// with and without the detector's bus traffic coupled into the timing model
+// — and the cycle ratio is the Fig. 11 number.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"cord"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tbaseline cycles\tCORD cycles\toverhead\tchecks\tmem-ts bcasts")
+	var sumBase, sumCord uint64
+	for _, app := range cord.Apps() {
+		base, err := cord.Run(app.Build(2, 4), cord.RunConfig{
+			Seed: 11, Jitter: 2, Cost: cord.NewTimingMachine(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		det := cord.NewDetector(cord.DefaultDetectorConfig())
+		withCord, err := cord.Run(app.Build(2, 4), cord.RunConfig{
+			Seed: 11, Jitter: 2, Cost: cord.NewTimingMachine(),
+			Observers: []cord.Observer{det},
+			Primary:   det, // couple the detector's traffic into the bus model
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := det.Stats()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%+.2f%%\t%d\t%d\n",
+			app.Name, base.Cycles, withCord.Cycles,
+			(float64(withCord.Cycles)/float64(base.Cycles)-1)*100,
+			st.CheckRequests, st.MemTsBroadcasts)
+		sumBase += base.Cycles
+		sumCord += withCord.Cycles
+	}
+	fmt.Fprintf(w, "TOTAL\t%d\t%d\t%+.2f%%\t\t\n", sumBase, sumCord,
+		(float64(sumCord)/float64(sumBase)-1)*100)
+	w.Flush()
+	fmt.Println("\nthe paper reports 0.4% on average and 3% worst case; CORD is cheap")
+	fmt.Println("because race checks ride the otherwise-idle address/timestamp bus")
+}

@@ -1,0 +1,61 @@
+// Quickstart: write a small parallel program against the cord API, run it on
+// the simulated CMP with the CORD detector attached, and look at what the
+// hardware recorded.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cord"
+)
+
+func main() {
+	// A four-thread program: a lock-protected shared counter, a barrier,
+	// and a read-only publication of the result.
+	al := cord.NewAllocator()
+	lock := cord.NewMutex(al)
+	counter := al.Alloc(1)
+	results := al.Alloc(4)
+	bar := cord.NewBarrier(al, 4)
+
+	prog := cord.Program{
+		Name:    "quickstart",
+		Threads: 4,
+		Body: func(t int, env *cord.Env) {
+			for i := 0; i < 10; i++ {
+				lock.Lock(env)
+				env.Write(counter.Word(0), env.Read(counter.Word(0))+1)
+				lock.Unlock(env)
+				env.Compute(25)
+			}
+			bar.Wait(env)
+			// After the barrier every thread must observe all 40 increments.
+			env.Write(results.Word(t), env.Read(counter.Word(0)))
+		},
+	}
+
+	// Attach the CORD detector (the paper's configuration: scalar 16-bit
+	// clocks, D=16, two timestamps per cache line, order recording on).
+	det := cord.NewDetector(cord.DefaultDetectorConfig())
+	res, err := cord.Run(prog, cord.RunConfig{Seed: 42, Jitter: 7,
+		Observers: []cord.Observer{det}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("counter = %d (want 40)\n", res.Mem.Load(counter.Word(0)))
+	for t := 0; t < 4; t++ {
+		fmt.Printf("thread %d observed %d\n", t, res.Mem.Load(results.Word(t)))
+	}
+	fmt.Printf("data races reported: %d (a properly synchronized program reports none)\n", det.RaceCount())
+	fmt.Printf("order log: %d entries, %d bytes — enough to replay this execution exactly\n",
+		det.Log().Len(), det.Log().SizeBytes())
+
+	// Prove it: replay from the log and verify.
+	out, err := cord.RecordAndReplay(prog, cord.ReplayOptions{Seed: 42, Jitter: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deterministic replay: match=%v\n", out.Match)
+}

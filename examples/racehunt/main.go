@@ -1,0 +1,91 @@
+// Racehunt: the paper's debugging story end to end. A worker pool has a
+// subtle synchronization bug — one code path updates a shared statistics
+// block without taking its lock. The bug manifests only under particular
+// interleavings. CORD runs always-on: when the race finally fires, it is
+// reported (with no false positives) and the order log replays the exact
+// buggy execution for debugging.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cord"
+)
+
+// buildBuggyPool returns a task pool where one in eight statistics updates
+// skips the lock — the kind of rarely-exercised path that escapes testing
+// (§3.4's "elusive synchronization problems").
+func buildBuggyPool() cord.Program {
+	al := cord.NewAllocator()
+	qlock := cord.NewMutex(al)
+	slock := cord.NewMutex(al)
+	next := al.Alloc(1)
+	stats := al.Alloc(4)
+	const tasks = 64
+
+	return cord.Program{
+		Name:    "buggy-pool",
+		Threads: 4,
+		Body: func(t int, env *cord.Env) {
+			for {
+				qlock.Lock(env)
+				j := env.Read(next.Word(0))
+				env.Write(next.Word(0), j+1)
+				qlock.Unlock(env)
+				if j >= tasks {
+					return
+				}
+				env.Compute(40) // the task itself
+				if j%8 == 3 {
+					// BUG: this path forgets the statistics lock.
+					env.Write(stats.Word(0), env.Read(stats.Word(0))+1)
+					continue
+				}
+				slock.Lock(env)
+				env.Write(stats.Word(0), env.Read(stats.Word(0))+1)
+				slock.Unlock(env)
+			}
+		},
+	}
+}
+
+func main() {
+	// Production: CORD is always on. Run until the bug manifests.
+	for seed := uint64(1); ; seed++ {
+		det := cord.NewDetector(cord.DefaultDetectorConfig())
+		oracle := cord.NewIdealDetector(4)
+		res, err := cord.Run(buildBuggyPool(), cord.RunConfig{
+			Seed: seed, Jitter: 9,
+			Observers: []cord.Observer{oracle, det},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %2d: tasks done, stats=%d, CORD races=%d\n",
+			seed, res.Mem.Load(0x80+0), det.RaceCount())
+
+		if det.RaceCount() == 0 {
+			continue // the unlocked path didn't collide this time
+		}
+
+		// The always-on detector fired. Every report is real:
+		for i, r := range det.Races() {
+			fmt.Printf("  race %d: %v (oracle confirms: %v)\n", i+1, r, oracle.Confirms(r))
+			if i >= 4 {
+				fmt.Printf("  ... and %d more reports\n", det.Stats().RaceReports-5)
+				break
+			}
+		}
+
+		// Debugging: replay the exact buggy execution from the order log.
+		out, err := cord.RecordAndReplay(buildBuggyPool(), cord.ReplayOptions{Seed: seed, Jitter: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replay of the buggy run: match=%v (log %d bytes)\n",
+			out.Match, out.Log.SizeBytes())
+		fmt.Println("-> fix: take the statistics lock on the j%8==3 path")
+		return
+	}
+}

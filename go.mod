@@ -1,0 +1,3 @@
+module cord
+
+go 1.22

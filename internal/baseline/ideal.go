@@ -1,0 +1,230 @@
+// Package baseline implements the detector configurations the paper compares
+// CORD against: the Ideal oracle (vector clocks, unlimited storage, unlimited
+// per-word access histories — detects every dynamic data race exposed by the
+// execution's causality) and the cache-bounded vector-clock schemes used in
+// Figs. 12–15 (InfCache, L2Cache, L1Cache).
+package baseline
+
+import (
+	"cord/internal/clock"
+	"cord/internal/memsys"
+	"cord/internal/trace"
+)
+
+// pairKey identifies one side of a race for the false-positive oracle: a
+// reported race matches ground truth when the reporting (second) access is
+// known by Ideal to race with a conflicting access of the same kind from the
+// same thread.
+type pairKey struct {
+	addr   memsys.Addr
+	second uint64
+	thread int
+	kind   trace.Kind
+}
+
+// idealAccess is one remembered data access with its vector-clock snapshot.
+type idealAccess struct {
+	thread int
+	kind   trace.Kind
+	seq    uint64
+	vc     clock.Vector
+}
+
+// syncWord is the synchronization state of one sync variable: the vector
+// clock of its last write. Synchronization induces ordering with
+// acquire/release semantics — a sync read (acquire) is ordered after the
+// sync write (release) whose value it observes. This matches both what
+// synchronization primitives guarantee to programs and what CORD's
+// sync-read D rule treats as "synchronized" (§2.6: orderings established
+// by mere +1 clock updates are *not* through synchronization and remain
+// reportable races).
+type syncWord struct {
+	lastWrite clock.Vector
+}
+
+// Ideal is the ground-truth detector (§4.2's Ideal configuration): full
+// vector clocks, one history entry per data access, entries recycled only
+// once they can no longer participate in a race.
+type Ideal struct {
+	threads int
+	vcs     []clock.Vector
+	syncs   map[memsys.Addr]*syncWord
+	hist    map[memsys.Addr][]idealAccess
+
+	races     []trace.Race
+	raceCount int // racy accesses (>=1 conflicting unordered predecessor)
+	pairCount int // individual unordered conflicting pairs
+	pairs     map[pairKey]bool
+	maxPairs  int
+
+	accesses      uint64
+	pruneInterval uint64
+	peakEntries   int
+}
+
+// NewIdeal builds the oracle for the given thread count.
+func NewIdeal(threads int) *Ideal {
+	return &Ideal{
+		threads:       threads,
+		vcs:           makeVCs(threads),
+		syncs:         make(map[memsys.Addr]*syncWord),
+		hist:          make(map[memsys.Addr][]idealAccess),
+		pairs:         make(map[pairKey]bool),
+		maxPairs:      1 << 20,
+		pruneInterval: 8192,
+	}
+}
+
+func makeVCs(threads int) []clock.Vector {
+	vcs := make([]clock.Vector, threads)
+	for i := range vcs {
+		vcs[i] = clock.NewVector(threads)
+		vcs[i].Tick(i) // distinguish "has started" from the zero vector
+	}
+	return vcs
+}
+
+// Name implements trace.Observer.
+func (d *Ideal) Name() string { return "Ideal" }
+
+// OnAccess implements trace.Observer.
+func (d *Ideal) OnAccess(a trace.Access) trace.Report {
+	d.accesses++
+	if d.accesses%d.pruneInterval == 0 {
+		d.prune()
+	}
+	my := d.vcs[a.Thread]
+	var rep trace.Report
+	if a.Class == trace.Sync {
+		d.onSync(a, my)
+	} else {
+		d.onData(a, my, &rep)
+	}
+	my.Tick(a.Thread)
+	return rep
+}
+
+// onSync applies the acquire/release happens-before edges.
+func (d *Ideal) onSync(a trace.Access, my clock.Vector) {
+	s := d.syncs[a.Addr]
+	if s == nil {
+		s = &syncWord{lastWrite: clock.NewVector(d.threads)}
+		d.syncs[a.Addr] = s
+	}
+	if a.Kind == trace.Read {
+		my.Join(s.lastWrite) // acquire: ordered after the observed release
+		return
+	}
+	copy(s.lastWrite, my) // release: publish the writer's history
+}
+
+// onData checks the access against the full per-word history: every
+// conflicting earlier access not ordered before the current thread's vector
+// clock is a data race.
+func (d *Ideal) onData(a trace.Access, my clock.Vector, rep *trace.Report) {
+	entries := d.hist[a.Addr]
+	racy := false
+	for i := range entries {
+		e := &entries[i]
+		if e.thread == a.Thread {
+			continue
+		}
+		if a.Kind == trace.Read && e.kind == trace.Read {
+			continue
+		}
+		// e happened before the current access iff the current thread has
+		// seen e's local time (epoch comparison).
+		if my[e.thread] >= e.vc[e.thread] {
+			continue
+		}
+		r := trace.Race{
+			Addr:   a.Addr,
+			First:  trace.Ref{Thread: e.thread, Kind: e.kind, Seq: e.seq},
+			Second: trace.Ref{Thread: a.Thread, Kind: a.Kind, Seq: a.Seq},
+		}
+		racy = true
+		d.pairCount++
+		if len(d.races) < 1<<16 {
+			d.races = append(d.races, r)
+			rep.Races = append(rep.Races, r)
+		}
+		if len(d.pairs) < d.maxPairs {
+			d.pairs[pairKey{a.Addr, a.Seq, e.thread, e.kind}] = true
+		}
+	}
+	if racy {
+		d.raceCount++
+	}
+	d.hist[a.Addr] = append(entries, idealAccess{
+		thread: a.Thread, kind: a.Kind, seq: a.Seq, vc: my.Clone(),
+	})
+}
+
+// prune recycles history entries that are ordered before every thread's
+// current clock — they can never race again (§3.2's Ideal bookkeeping).
+func (d *Ideal) prune() {
+	min := d.vcs[0].Clone()
+	for _, vc := range d.vcs[1:] {
+		for i, v := range vc {
+			if v < min[i] {
+				min[i] = v
+			}
+		}
+	}
+	total := 0
+	for addr, entries := range d.hist {
+		out := entries[:0]
+		for _, e := range entries {
+			if e.vc[e.thread] > min[e.thread] {
+				out = append(out, e)
+			}
+		}
+		if len(out) == 0 {
+			delete(d.hist, addr)
+			continue
+		}
+		d.hist[addr] = out
+		total += len(out)
+	}
+	if total > d.peakEntries {
+		d.peakEntries = total
+	}
+}
+
+// Migrate implements trace.Observer; vector clocks are per-thread, so
+// migration needs no action for the oracle.
+func (d *Ideal) Migrate(thread, proc int, instr uint64) {}
+
+// ThreadDone implements trace.Observer.
+func (d *Ideal) ThreadDone(thread int, totalInstr uint64) {}
+
+// Finish implements trace.Observer.
+func (d *Ideal) Finish() {}
+
+// Races returns the retained detected races.
+func (d *Ideal) Races() []trace.Race { return d.races }
+
+// RaceCount returns the number of racy accesses — accesses with at least one
+// conflicting, unordered predecessor. This is the raw-race metric used across
+// detectors so that cached (per-word-bit) and ideal (per-access-history)
+// schemes are counted on the same basis.
+func (d *Ideal) RaceCount() int { return d.raceCount }
+
+// PairCount returns the total number of unordered conflicting pairs (grows
+// quadratically with repeated racy accesses; diagnostic only).
+func (d *Ideal) PairCount() int { return d.pairCount }
+
+// ProblemDetected reports whether the run exposed at least one data race.
+func (d *Ideal) ProblemDetected() bool { return d.raceCount > 0 }
+
+// Confirms reports whether a race reported by another detector is consistent
+// with ground truth: the same second access racing against a conflicting
+// access of the same kind from the same thread. Used by the no-false-positive
+// invariant tests.
+func (d *Ideal) Confirms(r trace.Race) bool {
+	return d.pairs[pairKey{r.Addr, r.Second.Seq, r.First.Thread, r.First.Kind}]
+}
+
+// PeakEntries returns the high-water mark of retained history entries (a
+// proxy for the paper's observation that Ideal needs enormous buffering).
+func (d *Ideal) PeakEntries() int { return d.peakEntries }

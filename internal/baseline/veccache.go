@@ -1,0 +1,352 @@
+package baseline
+
+import (
+	"fmt"
+
+	"cord/internal/cache"
+	"cord/internal/clock"
+	"cord/internal/memsys"
+	"cord/internal/trace"
+)
+
+// Bound selects the timestamp-storage limit of a vector-clock configuration
+// (§4.3): unlimited caches, the L2, or only the L1.
+type Bound int
+
+// The storage bounds of Figs. 14–15.
+const (
+	BoundInf Bound = iota
+	BoundL2
+	BoundL1
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	switch b {
+	case BoundInf:
+		return "InfCache"
+	case BoundL2:
+		return "L2Cache"
+	default:
+		return "L1Cache"
+	}
+}
+
+func (b Bound) geometry() (cache.Config, bool) {
+	switch b {
+	case BoundL2:
+		return cache.Config{SizeBytes: 32 << 10, Ways: 8}, true
+	case BoundL1:
+		return cache.Config{SizeBytes: 8 << 10, Ways: 4}, true
+	default:
+		return cache.Config{}, false
+	}
+}
+
+// vecEntry is one timestamp slot of a cached line in a vector-clock scheme:
+// a full vector timestamp plus per-word read/write bits.
+type vecEntry struct {
+	vc        clock.Vector
+	readMask  uint16
+	writeMask uint16
+	valid     bool
+}
+
+func (e *vecEntry) has(word int, kind trace.Kind) bool {
+	if kind == trace.Read {
+		return e.readMask&(1<<word) != 0
+	}
+	return e.writeMask&(1<<word) != 0
+}
+
+func (e *vecEntry) set(word int, kind trace.Kind) {
+	if kind == trace.Read {
+		e.readMask |= 1 << word
+	} else {
+		e.writeMask |= 1 << word
+	}
+}
+
+// vecLine is the per-line payload: up to two vector-timestamped history
+// slots (slot 0 newest), as in the InfCache/L2Cache/L1Cache configurations.
+type vecLine struct {
+	hist [2]vecEntry
+}
+
+// VecConfig parameterizes a vector-clock baseline detector.
+type VecConfig struct {
+	Threads   int
+	Procs     int
+	Bound     Bound
+	HistDepth int // 2 unless the per-line ablation asks for 1
+}
+
+// VecCache is the vector-clock, cache-bounded detector of Figs. 12–15. Like
+// CORD it keeps two timestamps with per-word access bits per resident line
+// and a pair of whole-memory timestamps, but timestamps are full vector
+// clocks, so ordering is exact wherever history survives. It reports no
+// races discovered through the memory timestamps (same §2.5 reasoning).
+type VecCache struct {
+	cfg      VecConfig
+	vcs      []clock.Vector
+	threadOf []int
+	caches   []*cache.Cache[vecLine]
+
+	memRead, memWrite clock.Vector
+	memHasR, memHasW  bool
+
+	races     []trace.Race
+	raceCount int // racy accesses
+	reports   int // individual reported conflicts
+	viaMemory int
+	scratch   []vecConflict
+}
+
+type vecConflict struct {
+	vc   clock.Vector
+	kind trace.Kind
+	proc int
+}
+
+// NewVecCache builds a vector-clock baseline detector.
+func NewVecCache(cfg VecConfig) *VecCache {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 4
+	}
+	if cfg.HistDepth <= 0 || cfg.HistDepth > 2 {
+		cfg.HistDepth = 2
+	}
+	d := &VecCache{
+		cfg:      cfg,
+		vcs:      makeVCs(cfg.Threads),
+		threadOf: make([]int, cfg.Procs),
+		memRead:  clock.NewVector(cfg.Threads),
+		memWrite: clock.NewVector(cfg.Threads),
+	}
+	geo, bounded := cfg.Bound.geometry()
+	for p := 0; p < cfg.Procs; p++ {
+		if bounded {
+			d.caches = append(d.caches, cache.New[vecLine](geo))
+		} else {
+			d.caches = append(d.caches, cache.NewUnbounded[vecLine]())
+		}
+		d.threadOf[p] = p % cfg.Threads
+	}
+	return d
+}
+
+// Name implements trace.Observer.
+func (d *VecCache) Name() string { return fmt.Sprintf("Vector/%s", d.cfg.Bound) }
+
+// OnAccess implements trace.Observer.
+func (d *VecCache) OnAccess(a trace.Access) trace.Report {
+	proc := a.Proc % d.cfg.Procs
+	d.threadOf[proc] = a.Thread
+	my := d.vcs[a.Thread]
+	line := memsys.LineOf(a.Addr)
+	word := memsys.WordIndex(a.Addr)
+
+	var rep trace.Report
+	ls, present := d.caches[proc].Lookup(line)
+
+	// Fast path mirrors CORD: a word already stamped in the newest slot in
+	// the same mode, with the clock unchanged since, needs no re-check
+	// (coherence guarantees remote writes would have invalidated the line).
+	if present {
+		if e := &ls.hist[0]; e.valid && e.has(word, a.Kind) && vcEqual(e.vc, my) {
+			return rep
+		}
+	}
+
+	// Probe remote caches for conflicts.
+	probe := d.probeRemotes(proc, line, word, a.Kind)
+
+	racy := false
+	for _, cf := range d.scratch {
+		// cf happened before the current access iff every component of
+		// its vector is covered by the current thread's clock.
+		if !my.DominatesOrEqual(cf.vc) && a.Class == trace.Data {
+			r := trace.Race{
+				Addr:   a.Addr,
+				First:  trace.Ref{Thread: d.threadOf[cf.proc], Kind: cf.kind, Seq: trace.SeqUnknown},
+				Second: trace.Ref{Thread: a.Thread, Kind: a.Kind, Seq: a.Seq},
+			}
+			racy = true
+			d.reports++
+			if len(d.races) < 1<<16 {
+				d.races = append(d.races, r)
+				rep.Races = append(rep.Races, r)
+			}
+		}
+		// Acquire edge: a sync read joins the write timestamps it observes.
+		// Unlike CORD, the vector scheme performs no clock update on data
+		// races — it is a detector only (no order recording), and exact
+		// vector ordering keeps later races visible instead of hiding them
+		// behind a race-outcome update (this is what lets the InfCache
+		// configuration track Ideal closely in Figs. 14-15).
+		if a.Class == trace.Sync && a.Kind == trace.Read && cf.kind == trace.Write {
+			my.Join(cf.vc)
+		}
+	}
+
+	// Memory path: a data race that would be flagged through the
+	// whole-memory timestamps is suppressed (§2.5); a sync read through
+	// memory joins the memory write timestamp so synchronization through
+	// displaced variables is never lost (the Fig. 6 scenario).
+	if !present && !probe.found {
+		if d.memHasW && !my.DominatesOrEqual(d.memWrite) && a.Class == trace.Data {
+			d.viaMemory++
+		}
+		if a.Kind == trace.Write && d.memHasR && !my.DominatesOrEqual(d.memRead) && a.Class == trace.Data {
+			d.viaMemory++
+		}
+		if a.Class == trace.Sync && a.Kind == trace.Read && d.memHasW {
+			my.Join(d.memWrite)
+		}
+	}
+
+	if racy {
+		d.raceCount++
+	}
+
+	// Stamp locally.
+	if !present {
+		var nl vecLine
+		nl.hist[0] = vecEntry{vc: my.Clone(), valid: true}
+		nl.hist[0].set(word, a.Kind)
+		if v, evicted := d.caches[proc].Insert(line, nl); evicted {
+			d.flushLine(&v.Payload)
+		}
+	} else {
+		d.stamp(ls, word, a.Kind, my)
+	}
+
+	// Vector clocks advance at synchronization writes only (mirroring
+	// CORD's §2.4 rule); data accesses between syncs share a timestamp so
+	// per-word bits accumulate in one history slot.
+	if a.Class == trace.Sync && a.Kind == trace.Write {
+		my.Tick(a.Thread)
+	}
+	return rep
+}
+
+func (d *VecCache) stamp(ls *vecLine, word int, kind trace.Kind, my clock.Vector) {
+	n := &ls.hist[0]
+	switch {
+	case !n.valid:
+		ls.hist[0] = vecEntry{vc: my.Clone(), valid: true}
+		ls.hist[0].set(word, kind)
+	case vcEqual(n.vc, my):
+		n.set(word, kind)
+	default:
+		if d.cfg.HistDepth >= 2 {
+			d.absorbMem(ls.hist[1])
+			ls.hist[1] = ls.hist[0]
+		} else {
+			d.absorbMem(ls.hist[0])
+			ls.hist[1] = vecEntry{}
+		}
+		ls.hist[0] = vecEntry{vc: my.Clone(), valid: true}
+		ls.hist[0].set(word, kind)
+	}
+}
+
+func vcEqual(a, b clock.Vector) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type vecProbe struct {
+	found bool
+}
+
+func (d *VecCache) probeRemotes(proc int, line memsys.Line, word int, kind trace.Kind) vecProbe {
+	var res vecProbe
+	d.scratch = d.scratch[:0]
+	for q := 0; q < d.cfg.Procs; q++ {
+		if q == proc {
+			continue
+		}
+		ls, ok := d.caches[q].Peek(line)
+		if !ok {
+			continue
+		}
+		res.found = true
+		for i := range ls.hist {
+			e := &ls.hist[i]
+			if !e.valid {
+				continue
+			}
+			if e.has(word, trace.Write) {
+				d.scratch = append(d.scratch, vecConflict{vc: e.vc, kind: trace.Write, proc: q})
+			}
+			if kind == trace.Write && e.has(word, trace.Read) {
+				d.scratch = append(d.scratch, vecConflict{vc: e.vc, kind: trace.Read, proc: q})
+			}
+		}
+		if kind == trace.Write {
+			// Invalidation drops the remote history outright: the memory
+			// timestamps absorb *displaced* state only (§2.5 — capacity
+			// evictions and history-slot rotation), never invalidations.
+			// The conflicting words were just checked above; history for
+			// other words is simply lost, which can only hide races, never
+			// fabricate them.
+			d.caches[q].Remove(line)
+		}
+	}
+	return res
+}
+
+func (d *VecCache) absorbMem(e vecEntry) {
+	if !e.valid {
+		return
+	}
+	if e.readMask != 0 {
+		d.memRead.Join(e.vc)
+		d.memHasR = true
+	}
+	if e.writeMask != 0 {
+		d.memWrite.Join(e.vc)
+		d.memHasW = true
+	}
+}
+
+func (d *VecCache) flushLine(ls *vecLine) {
+	for i := range ls.hist {
+		d.absorbMem(ls.hist[i])
+	}
+}
+
+// Migrate implements trace.Observer. The migration self-race problem applies
+// to vector schemes too (§2.7.4): ticking the migrating thread's component
+// "synchronizes" its new execution with the timestamps it left behind.
+func (d *VecCache) Migrate(thread, proc int, instr uint64) {
+	d.vcs[thread].Tick(thread)
+}
+
+// ThreadDone implements trace.Observer.
+func (d *VecCache) ThreadDone(thread int, totalInstr uint64) {}
+
+// Finish implements trace.Observer.
+func (d *VecCache) Finish() {}
+
+// Races returns the retained reported races.
+func (d *VecCache) Races() []trace.Race { return d.races }
+
+// RaceCount returns the number of racy accesses (the shared raw-race
+// metric).
+func (d *VecCache) RaceCount() int { return d.raceCount }
+
+// ProblemDetected reports whether at least one race was reported.
+func (d *VecCache) ProblemDetected() bool { return d.raceCount > 0 }
+
+// ViaMemorySuppressed returns how many detections were suppressed because
+// they came from the whole-memory timestamps.
+func (d *VecCache) ViaMemorySuppressed() int { return d.viaMemory }

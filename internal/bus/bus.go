@@ -1,0 +1,101 @@
+// Package bus models the two on-chip interconnect resources of the paper's
+// machine (§3.1): a 128-bit data bus at 1 GHz and an address/timestamp bus at
+// half that rate, plus the off-chip memory channel. Each is a "busy-until"
+// FIFO resource: a transaction requested at time t occupies the resource from
+// max(t, freeAt) for its duration, and the requester observes the queueing
+// delay. This is the level of detail CORD's overhead lives at — race-check
+// broadcasts and memory-timestamp updates occupy the address/timestamp bus
+// and contend with ordinary coherence traffic.
+package bus
+
+// Resource is a single serially-occupied resource on the chip.
+type Resource struct {
+	name   string
+	freeAt uint64
+	busy   uint64 // total occupied cycles
+	trans  uint64 // transaction count
+}
+
+// NewResource names a fresh, idle resource.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Acquire schedules a transaction of the given duration (in CPU cycles)
+// requested at time now, returning the cycle at which the transaction
+// completes. The resource is occupied until then.
+func (r *Resource) Acquire(now, duration uint64) uint64 {
+	start := now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end := start + duration
+	r.freeAt = end
+	r.busy += duration
+	r.trans++
+	return end
+}
+
+// PeekDelay returns the queueing delay a transaction issued at now would see,
+// without acquiring.
+func (r *Resource) PeekDelay(now uint64) uint64 {
+	if r.freeAt > now {
+		return r.freeAt - now
+	}
+	return 0
+}
+
+// Stats returns the total busy cycles and the transaction count.
+func (r *Resource) Stats() (busyCycles, transactions uint64) { return r.busy, r.trans }
+
+// Name returns the resource's label.
+func (r *Resource) Name() string { return r.name }
+
+// Timing collects the latency parameters of the simulated machine, all in
+// CPU cycles of the 4 GHz cores. Defaults follow §3.1.
+type Timing struct {
+	// L1HitCycles is the (hidden) L1 access latency.
+	L1HitCycles uint64
+	// L2HitCycles is a local L2 hit.
+	L2HitCycles uint64
+	// CacheToCacheCycles is the on-chip L2-to-L2 round trip (20).
+	CacheToCacheCycles uint64
+	// MemoryCycles is the round-trip main-memory latency (600).
+	MemoryCycles uint64
+	// DataBusCycles is the data-bus occupancy of one line transfer:
+	// 64 bytes over a 128-bit (16-byte) bus at 1 GHz = 4 bus cycles
+	// = 16 CPU cycles at the 4:1 clock ratio.
+	DataBusCycles uint64
+	// AddrBusCycles is the occupancy of one address/timestamp-bus
+	// transaction. The address bus runs at half the data-bus frequency
+	// (§4.1), so one slot is 8 CPU cycles.
+	AddrBusCycles uint64
+}
+
+// DefaultTiming returns the paper's machine parameters.
+func DefaultTiming() Timing {
+	return Timing{
+		L1HitCycles:        1,
+		L2HitCycles:        10,
+		CacheToCacheCycles: 20,
+		MemoryCycles:       600,
+		DataBusCycles:      16,
+		AddrBusCycles:      8,
+	}
+}
+
+// Fabric bundles the shared interconnect resources of one simulated chip.
+type Fabric struct {
+	Data *Resource // on-chip data bus
+	Addr *Resource // address/timestamp bus (half rate)
+	Mem  *Resource // memory channel
+	T    Timing
+}
+
+// NewFabric builds an idle fabric with the given timing.
+func NewFabric(t Timing) *Fabric {
+	return &Fabric{
+		Data: NewResource("data-bus"),
+		Addr: NewResource("addr-ts-bus"),
+		Mem:  NewResource("mem-channel"),
+		T:    t,
+	}
+}

@@ -1,0 +1,91 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("x")
+	if end := r.Acquire(100, 10); end != 110 {
+		t.Fatalf("first acquire end = %d", end)
+	}
+	// Requested during occupancy: queued behind.
+	if end := r.Acquire(105, 10); end != 120 {
+		t.Fatalf("queued acquire end = %d", end)
+	}
+	// Requested after idle: starts immediately.
+	if end := r.Acquire(500, 10); end != 510 {
+		t.Fatalf("idle acquire end = %d", end)
+	}
+	busy, n := r.Stats()
+	if busy != 30 || n != 3 {
+		t.Fatalf("stats busy=%d n=%d", busy, n)
+	}
+}
+
+func TestPeekDelay(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 100)
+	if d := r.PeekDelay(40); d != 60 {
+		t.Fatalf("delay = %d", d)
+	}
+	if d := r.PeekDelay(200); d != 0 {
+		t.Fatalf("idle delay = %d", d)
+	}
+}
+
+// Property: completions are monotone in request order and the resource is
+// never occupied by two transactions at once (sum of durations <= last end -
+// first start).
+func TestResourceMonotone(t *testing.T) {
+	f := func(reqs [20]struct {
+		At  uint16
+		Dur uint8
+	}) bool {
+		r := NewResource("p")
+		now := uint64(0)
+		var lastEnd uint64
+		var total uint64
+		for _, q := range reqs {
+			now += uint64(q.At)
+			d := uint64(q.Dur%16) + 1
+			end := r.Acquire(now, d)
+			if end < now+d {
+				return false
+			}
+			if end < lastEnd+d {
+				return false // overlap: two transactions at once
+			}
+			lastEnd = end
+			total += d
+		}
+		busy, _ := r.Stats()
+		return busy == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultTiming(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.MemoryCycles != 600 || tm.CacheToCacheCycles != 20 {
+		t.Fatalf("paper latencies wrong: %+v", tm)
+	}
+	// 64-byte line over a 16-byte-wide 1 GHz bus at 4 GHz core clock.
+	if tm.DataBusCycles != 16 {
+		t.Fatalf("data bus occupancy = %d", tm.DataBusCycles)
+	}
+	// Address/timestamp bus at half the data-bus rate.
+	if tm.AddrBusCycles != 8 {
+		t.Fatalf("addr bus occupancy = %d", tm.AddrBusCycles)
+	}
+}
+
+func TestFabric(t *testing.T) {
+	f := NewFabric(DefaultTiming())
+	if f.Data.Name() != "data-bus" || f.Addr.Name() != "addr-ts-bus" {
+		t.Fatal("fabric resources misnamed")
+	}
+}

@@ -1,0 +1,279 @@
+// Package cache models on-chip caches at line granularity: a generic
+// set-associative LRU cache with a per-line payload (the CORD detector
+// attaches timestamps and access bits as the payload), an unbounded variant
+// for the InfCache/Ideal configurations, and a two-level inclusive private
+// hierarchy used by the timing model.
+//
+// Values are not stored here — the simulator keeps word values in
+// memsys.Memory; caches track only presence, recency and payload, which is
+// what drives every CORD-relevant event (displacement, invalidation,
+// history loss).
+package cache
+
+import (
+	"fmt"
+
+	"cord/internal/memsys"
+)
+
+type entry[P any] struct {
+	line    memsys.Line
+	payload P
+}
+
+// Cache is a set-associative cache with LRU replacement over lines, carrying
+// a payload P per resident line. A Cache with Ways == 0 is unbounded (fully
+// associative, infinite capacity) — used by the Ideal and InfCache detector
+// configurations.
+type Cache[P any] struct {
+	sets      [][]entry[P] // each set is MRU-first
+	ways      int
+	numSets   int
+	unbounded map[memsys.Line]*P
+
+	// stats
+	hits, misses, evictions uint64
+}
+
+// Config describes a bounded cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+}
+
+// Lines returns the number of lines the configured cache holds.
+func (c Config) Lines() int { return c.SizeBytes / memsys.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Ways }
+
+// Validate checks the geometry is consistent (power-of-two sets, divisible).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%memsys.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size", c.SizeBytes)
+	}
+	if c.Lines()%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", c.Lines(), c.Ways)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %d sets is not a power of two", sets)
+	}
+	return nil
+}
+
+// New returns a bounded cache with the given geometry. It panics on an
+// invalid geometry: configurations are static experiment parameters, and an
+// invalid one is a programming error.
+func New[P any](cfg Config) *Cache[P] {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cache[P]{
+		sets:    make([][]entry[P], cfg.Sets()),
+		ways:    cfg.Ways,
+		numSets: cfg.Sets(),
+	}
+}
+
+// NewUnbounded returns a cache that never evicts.
+func NewUnbounded[P any]() *Cache[P] {
+	return &Cache[P]{unbounded: make(map[memsys.Line]*P)}
+}
+
+// Unbounded reports whether the cache has infinite capacity.
+func (c *Cache[P]) Unbounded() bool { return c.unbounded != nil }
+
+func (c *Cache[P]) setOf(l memsys.Line) int { return int(uint64(l) % uint64(c.numSets)) }
+
+// Lookup returns a pointer to the payload of line l if resident, promoting it
+// to most-recently-used. The pointer stays valid until the line is evicted or
+// removed.
+func (c *Cache[P]) Lookup(l memsys.Line) (*P, bool) {
+	if c.unbounded != nil {
+		p, ok := c.unbounded[l]
+		if ok {
+			c.hits++
+		} else {
+			c.misses++
+		}
+		return p, ok
+	}
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].line == l {
+			// Promote to MRU.
+			e := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			c.hits++
+			return &set[0].payload, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek returns the payload of line l without touching recency or stats;
+// remote snoops use it so that coherence traffic does not perturb local LRU
+// state.
+func (c *Cache[P]) Peek(l memsys.Line) (*P, bool) {
+	if c.unbounded != nil {
+		p, ok := c.unbounded[l]
+		return p, ok
+	}
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].line == l {
+			return &set[i].payload, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports residency without touching recency or stats.
+func (c *Cache[P]) Contains(l memsys.Line) bool {
+	if c.unbounded != nil {
+		_, ok := c.unbounded[l]
+		return ok
+	}
+	for _, e := range c.sets[c.setOf(l)] {
+		if e.line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by Insert.
+type Victim[P any] struct {
+	Line    memsys.Line
+	Payload P
+}
+
+// Insert installs line l with the given payload as MRU and returns the
+// displaced victim, if any. Inserting a line that is already resident
+// replaces its payload and promotes it (no victim).
+func (c *Cache[P]) Insert(l memsys.Line, payload P) (Victim[P], bool) {
+	if c.unbounded != nil {
+		p := payload
+		c.unbounded[l] = &p
+		return Victim[P]{}, false
+	}
+	si := c.setOf(l)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].line == l {
+			e := entry[P]{line: l, payload: payload}
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return Victim[P]{}, false
+		}
+	}
+	if len(set) < c.ways {
+		set = append(set, entry[P]{})
+		copy(set[1:], set[:len(set)-1])
+		set[0] = entry[P]{line: l, payload: payload}
+		c.sets[si] = set
+		return Victim[P]{}, false
+	}
+	// Evict LRU (last element).
+	v := Victim[P]{Line: set[len(set)-1].line, Payload: set[len(set)-1].payload}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = entry[P]{line: l, payload: payload}
+	c.evictions++
+	return v, true
+}
+
+// Remove deletes line l (invalidation), returning its payload if resident.
+func (c *Cache[P]) Remove(l memsys.Line) (P, bool) {
+	var zero P
+	if c.unbounded != nil {
+		p, ok := c.unbounded[l]
+		if !ok {
+			return zero, false
+		}
+		delete(c.unbounded, l)
+		return *p, true
+	}
+	si := c.setOf(l)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].line == l {
+			p := set[i].payload
+			c.sets[si] = append(set[:i], set[i+1:]...)
+			return p, true
+		}
+	}
+	return zero, false
+}
+
+// Len returns the number of resident lines.
+func (c *Cache[P]) Len() int {
+	if c.unbounded != nil {
+		return len(c.unbounded)
+	}
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// ForEach visits every resident line. The visit function may mutate the
+// payload through the pointer but must not insert or remove lines.
+func (c *Cache[P]) ForEach(fn func(l memsys.Line, p *P)) {
+	if c.unbounded != nil {
+		for l, p := range c.unbounded {
+			fn(l, p)
+		}
+		return
+	}
+	for _, set := range c.sets {
+		for i := range set {
+			fn(set[i].line, &set[i].payload)
+		}
+	}
+}
+
+// RemoveIf deletes every resident line for which pred returns true, invoking
+// onRemove for each removed line. The cache walker (§2.7.5) uses this to
+// retire stale timestamps.
+func (c *Cache[P]) RemoveIf(pred func(l memsys.Line, p *P) bool, onRemove func(l memsys.Line, p P)) int {
+	removed := 0
+	if c.unbounded != nil {
+		for l, p := range c.unbounded {
+			if pred(l, p) {
+				delete(c.unbounded, l)
+				if onRemove != nil {
+					onRemove(l, *p)
+				}
+				removed++
+			}
+		}
+		return removed
+	}
+	for si, set := range c.sets {
+		out := set[:0]
+		for i := range set {
+			if pred(set[i].line, &set[i].payload) {
+				if onRemove != nil {
+					onRemove(set[i].line, set[i].payload)
+				}
+				removed++
+				continue
+			}
+			out = append(out, set[i])
+		}
+		c.sets[si] = out
+	}
+	return removed
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *Cache[P]) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+
+	"cord/internal/clock"
+	"cord/internal/record"
+)
+
+// recorder implements the order-recording side of CORD (§2.7.1): whenever a
+// thread's clock changes, it appends an entry holding the previous clock
+// value, the thread ID, and the number of instructions committed with that
+// value. The final epoch of each thread is flushed at thread exit.
+type recorder struct {
+	log        record.Log
+	prevClock  []clock.Scalar
+	epochStart []uint64
+	enabled    bool
+}
+
+func newRecorder(threads int, enabled bool, initial clock.Scalar) *recorder {
+	r := &recorder{
+		prevClock:  make([]clock.Scalar, threads),
+		epochStart: make([]uint64, threads),
+		enabled:    enabled,
+	}
+	for i := range r.prevClock {
+		r.prevClock[i] = initial
+	}
+	return r
+}
+
+// clockChanged notes that thread's clock changed to next at instruction
+// boundary instr (the committed count before the in-flight operation; the
+// operation itself commits under the new clock).
+func (r *recorder) clockChanged(thread int, next clock.Scalar, instr uint64) {
+	if !r.enabled {
+		return
+	}
+	delta := instr - r.epochStart[thread]
+	// Guard against instruction-count overflow of the 32-bit log field by
+	// splitting the epoch (§2.7.1 bumps the clock; splitting the entry is
+	// equivalent and race-free because both halves carry the same clock).
+	for delta > math.MaxUint32 {
+		r.log.Append(record.Entry{Clock: r.prevClock[thread], Thread: uint16(thread), Instr: math.MaxUint32})
+		delta -= math.MaxUint32
+	}
+	r.log.Append(record.Entry{Clock: r.prevClock[thread], Thread: uint16(thread), Instr: uint32(delta)})
+	r.prevClock[thread] = next
+	r.epochStart[thread] = instr
+}
+
+// threadDone flushes the thread's final epoch.
+func (r *recorder) threadDone(thread int, totalInstr uint64) {
+	if !r.enabled {
+		return
+	}
+	delta := totalInstr - r.epochStart[thread]
+	for delta > math.MaxUint32 {
+		r.log.Append(record.Entry{Clock: r.prevClock[thread], Thread: uint16(thread), Instr: math.MaxUint32})
+		delta -= math.MaxUint32
+	}
+	r.log.Append(record.Entry{Clock: r.prevClock[thread], Thread: uint16(thread), Instr: uint32(delta)})
+	r.epochStart[thread] = totalInstr
+}

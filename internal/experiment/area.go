@@ -1,0 +1,73 @@
+package experiment
+
+import "fmt"
+
+// AreaModel prices the per-line chip-area cost of timestamp storage, the
+// arithmetic behind the paper's 19% / 38% / 200% figures (§2.3–2.4).
+type AreaModel struct {
+	// LineBits is the data capacity of one cache line (512 for 64 bytes).
+	LineBits int
+	// WordsPerLine is the per-word access-bit count driver (16).
+	WordsPerLine int
+	// TsBits is the width of one scalar timestamp component (16).
+	TsBits int
+	// Threads sizes vector timestamps (one component per thread).
+	Threads int
+	// HistDepth is the number of timestamp slots per line (2).
+	HistDepth int
+	// FilterBits is the per-line check-filter state (2).
+	FilterBits int
+}
+
+// DefaultAreaModel matches the paper's configuration.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		LineBits:     512,
+		WordsPerLine: 16,
+		TsBits:       16,
+		Threads:      4,
+		HistDepth:    2,
+		FilterBits:   2,
+	}
+}
+
+// ScalarOverhead is CORD's per-line state as a fraction of the data array:
+// HistDepth x (scalar timestamp + per-word read bits + per-word write bits)
+// plus the filter bits. 19% in the default configuration.
+func (m AreaModel) ScalarOverhead() float64 {
+	bits := m.HistDepth*(m.TsBits+2*m.WordsPerLine) + m.FilterBits
+	return float64(bits) / float64(m.LineBits)
+}
+
+// VectorPerLineOverhead is the per-line vector-timestamp variant (Threads
+// scalar components per timestamp). 38% for four threads.
+func (m AreaModel) VectorPerLineOverhead() float64 {
+	bits := m.HistDepth*(m.Threads*m.TsBits+2*m.WordsPerLine) + m.FilterBits
+	return float64(bits) / float64(m.LineBits)
+}
+
+// VectorPerWordOverhead is the ideal-style per-word vector timestamp cost
+// (no access bits needed). 200% for four 16-bit components per word.
+func (m AreaModel) VectorPerWordOverhead() float64 {
+	bits := m.WordsPerLine * m.Threads * m.TsBits
+	return float64(bits) / float64(m.LineBits)
+}
+
+// AreaFigure renders the three schemes as a figure.
+func AreaFigure() Figure {
+	m := DefaultAreaModel()
+	f := Figure{
+		ID:      "area",
+		Title:   "On-chip timestamp state as a fraction of cache data capacity (§2.3-2.4)",
+		Columns: []string{"area overhead"},
+		Rows: []Row{
+			{Label: "per-word 4x16b vector timestamps", Values: []float64{m.VectorPerWordOverhead()}},
+			{Label: "per-line 4x16b vector + access bits", Values: []float64{m.VectorPerLineOverhead()}},
+			{Label: fmt.Sprintf("CORD scalar (%d ts/line + bits)", m.HistDepth), Values: []float64{m.ScalarOverhead()}},
+		},
+		Notes: []string{
+			"paper: 200%, 38% and 19% respectively; scalar cost is independent of thread count",
+		},
+	}
+	return f
+}

@@ -1,0 +1,311 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"cord/internal/baseline"
+	"cord/internal/core"
+	"cord/internal/sim"
+	"cord/internal/trace"
+	"cord/internal/workload"
+)
+
+// Options configures an experiment campaign.
+type Options struct {
+	// Scale grows the workloads (1 = test scale, the default).
+	Scale int
+	// Threads is the processor/thread count (default 4, as in §3.1).
+	Threads int
+	// Injections is the number of fault-injection runs per application
+	// (default 40; the paper uses 20–100).
+	Injections int
+	// BaseSeed varies the whole campaign.
+	BaseSeed uint64
+	// Apps selects the applications (default: all of Table 1).
+	Apps []workload.App
+	// Progress, when non-nil, receives one line per completed app.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Injections <= 0 {
+		o.Injections = 40
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 0xC0DD
+	}
+	if o.Apps == nil {
+		o.Apps = workload.All()
+	}
+	return o
+}
+
+// Detector configuration labels, in campaign column order.
+const (
+	cfgIdeal  = "Ideal"
+	cfgVecInf = "Vector/InfCache"
+	cfgVecL2  = "Vector/L2Cache"
+	cfgVecL1  = "Vector/L1Cache"
+	cfgD1     = "CORD(D=1)"
+	cfgD4     = "CORD(D=4)"
+	cfgD16    = "CORD(D=16)"
+	cfgD256   = "CORD(D=256)"
+)
+
+// Configs lists the detector configurations of the detection campaign.
+func Configs() []string {
+	return []string{cfgIdeal, cfgVecInf, cfgVecL2, cfgVecL1, cfgD1, cfgD4, cfgD16, cfgD256}
+}
+
+// AppDetection aggregates one application's injection campaign.
+type AppDetection struct {
+	App        string
+	Injected   int // runs in which an instance was actually removed
+	Hung       int // deadlocked runs (excluded from rates)
+	Manifested int // runs where the Ideal oracle found >= 1 data race
+
+	Problems map[string]int // config -> runs with >= 1 reported race
+	Races    map[string]int // config -> total reported races
+
+	FalsePositives int // CORD reports unconfirmed by the oracle (must be 0)
+}
+
+// DetectionResults is the full campaign outcome; the Fig* methods derive the
+// paper's figures from it.
+type DetectionResults struct {
+	Apps    []AppDetection
+	Configs []string
+}
+
+// RunDetection executes the §3.4 methodology: for each application, inject
+// one randomly chosen dynamic synchronization removal per run, observe the
+// same execution with every detector configuration, and aggregate detection
+// outcomes.
+func RunDetection(o Options) (*DetectionResults, error) {
+	o = o.withDefaults()
+	res := &DetectionResults{Configs: Configs()}
+	for appIdx, app := range o.Apps {
+		agg := AppDetection{
+			App:      app.Name,
+			Problems: map[string]int{},
+			Races:    map[string]int{},
+		}
+		// Count the app's dynamic sync instances once, to draw targets.
+		count, err := sim.New(sim.Config{
+			Seed: o.BaseSeed, Jitter: 7,
+		}, app.Build(o.Scale, o.Threads)).Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: counting %s: %w", app.Name, err)
+		}
+		if count.SyncInstances == 0 {
+			return nil, fmt.Errorf("experiment: %s has no injectable synchronization", app.Name)
+		}
+		rng := rand.New(rand.NewPCG(o.BaseSeed^uint64(appIdx*7919+1), 0xD1CE))
+		// Stay below the observed count so the target exists in runs whose
+		// instance count varies slightly with the seed.
+		maxTarget := count.SyncInstances * 9 / 10
+		if maxTarget == 0 {
+			maxTarget = 1
+		}
+
+		for i := 0; i < o.Injections; i++ {
+			seed := o.BaseSeed + uint64(appIdx)*1_000_003 + uint64(i)*97
+			target := 1 + rng.Uint64N(maxTarget)
+
+			ideal := baseline.NewIdeal(o.Threads)
+			vecInf := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundInf})
+			vecL2 := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundL2})
+			vecL1 := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundL1})
+			cords := map[string]*core.Detector{
+				cfgD1:   core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 1}),
+				cfgD4:   core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 4}),
+				cfgD16:  core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16}),
+				cfgD256: core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 256}),
+			}
+			obs := []trace.Observer{ideal, vecInf, vecL2, vecL1,
+				cords[cfgD1], cords[cfgD4], cords[cfgD16], cords[cfgD256]}
+
+			run, err := sim.New(sim.Config{
+				Seed: seed, Jitter: 7, InjectSkip: target, Observers: obs,
+			}, app.Build(o.Scale, o.Threads)).Run()
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s injection %d: %w", app.Name, i, err)
+			}
+			if run.InjectedThread < 0 {
+				continue // target beyond this run's instance count
+			}
+			if run.Hung {
+				agg.Hung++
+				continue
+			}
+			agg.Injected++
+			if ideal.ProblemDetected() {
+				agg.Manifested++
+			}
+			record := func(name string, problem bool, races int) {
+				if problem {
+					agg.Problems[name]++
+				}
+				agg.Races[name] += races
+			}
+			record(cfgIdeal, ideal.ProblemDetected(), ideal.RaceCount())
+			record(cfgVecInf, vecInf.ProblemDetected(), vecInf.RaceCount())
+			record(cfgVecL2, vecL2.ProblemDetected(), vecL2.RaceCount())
+			record(cfgVecL1, vecL1.ProblemDetected(), vecL1.RaceCount())
+			for name, d := range cords {
+				record(name, d.ProblemDetected(), d.RaceCount())
+				for _, r := range d.Races() {
+					if !ideal.Confirms(r) {
+						agg.FalsePositives++
+					}
+				}
+			}
+		}
+		res.Apps = append(res.Apps, agg)
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "%-10s injected=%d hung=%d manifested=%d ideal=%d cordD16=%d vecL2=%d fp=%d\n",
+				app.Name, agg.Injected, agg.Hung, agg.Manifested,
+				agg.Problems[cfgIdeal], agg.Problems[cfgD16], agg.Problems[cfgVecL2], agg.FalsePositives)
+		}
+	}
+	return res, nil
+}
+
+// figure builds a per-app figure where each column is numerator[config] /
+// denominator, plus an aggregate Average row computed from summed counts.
+func (r *DetectionResults) figure(id, title string, cols []string,
+	num func(a AppDetection, cfg string) int, den func(a AppDetection, cfg string) int, notes ...string) Figure {
+
+	f := Figure{ID: id, Title: title, Columns: cols, Notes: notes}
+	sumNum := make([]int, len(cols))
+	sumDen := make([]int, len(cols))
+	for _, a := range r.Apps {
+		row := Row{Label: a.App}
+		for i, c := range cols {
+			n, d := num(a, c), den(a, c)
+			row.Values = append(row.Values, ratio(n, d))
+			sumNum[i] += n
+			sumDen[i] += d
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	avg := Row{Label: "Average"}
+	for i := range cols {
+		avg.Values = append(avg.Values, ratio(sumNum[i], sumDen[i]))
+	}
+	f.Rows = append(f.Rows, avg)
+	return f
+}
+
+// Fig10 is the percentage of injected removals that produced at least one
+// data race, as judged by the Ideal oracle.
+func (r *DetectionResults) Fig10() Figure {
+	return r.figure("fig10",
+		"Injected dynamic instances of missing synchronization that caused >=1 data race",
+		[]string{"manifested"},
+		func(a AppDetection, _ string) int { return a.Manifested },
+		func(a AppDetection, _ string) int { return a.Injected },
+		"denominator: injection runs that completed (hung runs excluded)")
+}
+
+// Fig12 is CORD's problem detection rate relative to the vector-clock scheme
+// and to Ideal (paper: 83% and 77% on average).
+func (r *DetectionResults) Fig12() Figure {
+	f := Figure{ID: "fig12", Title: "CORD problem detection rate", Columns: []string{"vs Vector Clock", "vs Ideal"}}
+	var sn, sv, si int
+	for _, a := range r.Apps {
+		f.Rows = append(f.Rows, Row{Label: a.App, Values: []float64{
+			ratio(a.Problems[cfgD16], a.Problems[cfgVecL2]),
+			ratio(a.Problems[cfgD16], a.Problems[cfgIdeal]),
+		}})
+		sn += a.Problems[cfgD16]
+		sv += a.Problems[cfgVecL2]
+		si += a.Problems[cfgIdeal]
+	}
+	f.Rows = append(f.Rows, Row{Label: "Average", Values: []float64{ratio(sn, sv), ratio(sn, si)}})
+	f.Notes = append(f.Notes, "CORD column is the default D=16 configuration",
+		"paper reports 83% vs vector clocks and 77% vs Ideal on average")
+	return f
+}
+
+// Fig13 is CORD's raw data-race detection rate relative to the vector-clock
+// scheme and to Ideal (paper: ~20% of Ideal).
+func (r *DetectionResults) Fig13() Figure {
+	f := Figure{ID: "fig13", Title: "CORD raw data race detection rate", Columns: []string{"vs Vector Clock", "vs Ideal"}}
+	var sn, sv, si int
+	for _, a := range r.Apps {
+		f.Rows = append(f.Rows, Row{Label: a.App, Values: []float64{
+			ratio(a.Races[cfgD16], a.Races[cfgVecL2]),
+			ratio(a.Races[cfgD16], a.Races[cfgIdeal]),
+		}})
+		sn += a.Races[cfgD16]
+		sv += a.Races[cfgVecL2]
+		si += a.Races[cfgIdeal]
+	}
+	f.Rows = append(f.Rows, Row{Label: "Average", Values: []float64{ratio(sn, sv), ratio(sn, si)}})
+	f.Notes = append(f.Notes, "paper reports CORD detecting ~20% of Ideal's dynamic races")
+	return f
+}
+
+// Fig14 is the problem detection rate of the vector-clock configurations
+// under increasingly severe buffering limits, relative to Ideal.
+func (r *DetectionResults) Fig14() Figure {
+	cols := []string{cfgVecInf, cfgVecL2, cfgVecL1}
+	return r.figure("fig14",
+		"Problem detection with limited access histories (vector clocks, vs Ideal)",
+		cols,
+		func(a AppDetection, cfg string) int { return a.Problems[cfg] },
+		func(a AppDetection, _ string) int { return a.Problems[cfgIdeal] },
+		"paper: ~9% of problems lost by L2Cache buffering limits; L1Cache notably worse")
+}
+
+// Fig15 is the raw race detection rate for the same storage sweep.
+func (r *DetectionResults) Fig15() Figure {
+	cols := []string{cfgVecInf, cfgVecL2, cfgVecL1}
+	return r.figure("fig15",
+		"Raw data race detection with limited access histories (vector clocks, vs Ideal)",
+		cols,
+		func(a AppDetection, cfg string) int { return a.Races[cfg] },
+		func(a AppDetection, _ string) int { return a.Races[cfgIdeal] },
+		"paper: even InfCache (2 timestamps/line) misses ~18% of raw races")
+}
+
+// Fig16 is the scalar D sweep's problem detection rate relative to the
+// vector-clock L2Cache configuration.
+func (r *DetectionResults) Fig16() Figure {
+	cols := []string{cfgD1, cfgD4, cfgD16, cfgD256}
+	return r.figure("fig16",
+		"Problem detection with scalar clocks, sync-read window sweep (vs Vector/L2Cache)",
+		cols,
+		func(a AppDetection, cfg string) int { return a.Problems[cfg] },
+		func(a AppDetection, _ string) int { return a.Problems[cfgVecL2] },
+		"paper: D=16 detects ~62% more problems than D=1; only barnes improves past D=16")
+}
+
+// Fig17 is the raw-race version of the D sweep.
+func (r *DetectionResults) Fig17() Figure {
+	cols := []string{cfgD1, cfgD4, cfgD16, cfgD256}
+	return r.figure("fig17",
+		"Raw data race detection with scalar clocks, sync-read window sweep (vs Vector/L2Cache)",
+		cols,
+		func(a AppDetection, cfg string) int { return a.Races[cfg] },
+		func(a AppDetection, _ string) int { return a.Races[cfgVecL2] })
+}
+
+// FalsePositives sums oracle-unconfirmed CORD reports across the campaign
+// (the paper's no-false-positives claim demands zero).
+func (r *DetectionResults) FalsePositives() int {
+	n := 0
+	for _, a := range r.Apps {
+		n += a.FalsePositives
+	}
+	return n
+}

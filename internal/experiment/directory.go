@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"cord/internal/core"
+	"cord/internal/directory"
+	"cord/internal/sim"
+	"cord/internal/trace"
+)
+
+// DirectoryRow compares, for one application, the snooping broadcast traffic
+// with the directory extension's point-to-point messages on the same
+// executions (§2.5's proposed extension).
+type DirectoryRow struct {
+	App string
+	// Requests is the number of bus-visible CORD transactions.
+	Requests uint64
+	// Forwards is the directory's sharer-forward count for them.
+	Forwards uint64
+	// SnoopMessages is what a broadcast protocol costs: every transaction
+	// observed by every other processor.
+	SnoopMessages uint64
+	// MemTsMessages is the directory-homed memory-timestamp update count.
+	MemTsMessages uint64
+	// RacesMatch confirms the two protocols detected identical race counts.
+	RacesMatch bool
+}
+
+// RunDirectory measures the extension at the given processor count.
+func RunDirectory(o Options, procs int) ([]DirectoryRow, error) {
+	o = o.withDefaults()
+	if procs <= 0 {
+		procs = 16
+	}
+	var rows []DirectoryRow
+	for _, app := range o.Apps {
+		dir := directory.New(procs)
+		dird := core.New(core.Config{Threads: procs, Procs: procs, D: 16, Directory: dir})
+		snoop := core.New(core.Config{Threads: procs, Procs: procs, D: 16})
+		_, err := sim.New(sim.Config{
+			Seed: o.BaseSeed, Jitter: 7, Procs: procs,
+			Observers: []trace.Observer{snoop, dird},
+		}, app.Build(o.Scale, procs)).Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: directory run %s: %w", app.Name, err)
+		}
+		st := dir.Stats()
+		rows = append(rows, DirectoryRow{
+			App:           app.Name,
+			Requests:      st.Requests,
+			Forwards:      st.Forwards,
+			SnoopMessages: st.Requests * uint64(procs-1),
+			MemTsMessages: st.MemTsMessages,
+			RacesMatch:    snoop.RaceCount() == dird.RaceCount(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderDirectory writes the comparison table.
+func RenderDirectory(rows []DirectoryRow, procs int, w *tabwriter.Writer) {
+	fmt.Fprintf(w, "app\trequests\tdir forwards\tsnoop msgs (x%d)\tsavings\tmem-ts msgs\tdetection\n", procs-1)
+	for _, r := range rows {
+		status := "identical"
+		if !r.RacesMatch {
+			status = "MISMATCH"
+		}
+		savings := 1 - float64(r.Forwards)/float64(r.SnoopMessages)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%d\t%s\n",
+			r.App, r.Requests, r.Forwards, r.SnoopMessages, Percent(savings), r.MemTsMessages, status)
+	}
+}

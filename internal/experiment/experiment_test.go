@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"text/tabwriter"
+
+	"cord/internal/workload"
+)
+
+func smallOpts() Options {
+	apps := []workload.App{}
+	for _, name := range []string{"raytrace", "lu", "water-sp"} {
+		a, _ := workload.ByName(name)
+		apps = append(apps, a)
+	}
+	return Options{Injections: 6, Apps: apps, BaseSeed: 77}
+}
+
+func TestDetectionCampaignShape(t *testing.T) {
+	res, err := RunDetection(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 3 {
+		t.Fatalf("apps = %d", len(res.Apps))
+	}
+	for _, a := range res.Apps {
+		if a.Injected+a.Hung == 0 {
+			t.Fatalf("%s: no injections landed", a.App)
+		}
+		if a.Manifested > a.Injected {
+			t.Fatalf("%s: manifested > injected", a.App)
+		}
+		// Detection dominance: Ideal >= every bounded config per app.
+		for _, cfg := range res.Configs {
+			if a.Problems[cfg] > a.Problems[cfgIdeal] {
+				t.Fatalf("%s: %s detected more problems than Ideal", a.App, cfg)
+			}
+		}
+		// Manifested is by definition Ideal's problem count.
+		if a.Problems[cfgIdeal] != a.Manifested {
+			t.Fatalf("%s: ideal problems %d != manifested %d", a.App, a.Problems[cfgIdeal], a.Manifested)
+		}
+	}
+	if res.FalsePositives() != 0 {
+		t.Fatalf("false positives: %d", res.FalsePositives())
+	}
+}
+
+func TestDSweepMonotonicity(t *testing.T) {
+	// Detection never decreases as D grows: the D window only widens the
+	// reportable band (aggregate counts, where statistics are stable).
+	res, err := RunDetection(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(cfg string) int {
+		n := 0
+		for _, a := range res.Apps {
+			n += a.Problems[cfg]
+		}
+		return n
+	}
+	d1, d4, d16 := total(cfgD1), total(cfgD4), total(cfgD16)
+	if d4 < d1 || d16 < d4 {
+		t.Fatalf("D sweep not monotone: %d, %d, %d", d1, d4, d16)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Figure{
+		ID: "figX", Title: "test", Columns: []string{"a", "b"},
+		Rows:  []Row{{Label: "app", Values: []float64{0.5, math.NaN()}}},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FIGX", "50.0%", "-", "a note", "app"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if Percent(0.191) != "19.1%" {
+		t.Fatalf("Percent: %s", Percent(0.191))
+	}
+	if Percent(math.NaN()) != "-" || Percent(math.Inf(1)) != "-" {
+		t.Fatal("Percent special values")
+	}
+	if !math.IsNaN(ratio(1, 0)) || ratio(1, 2) != 0.5 {
+		t.Fatal("ratio")
+	}
+}
+
+func TestAreaFigureValues(t *testing.T) {
+	f := AreaFigure()
+	if len(f.Rows) != 3 {
+		t.Fatal("area figure rows")
+	}
+	if math.Abs(f.Rows[0].Values[0]-2.0) > 0.001 {
+		t.Fatalf("per-word overhead %v", f.Rows[0].Values[0])
+	}
+	if math.Abs(f.Rows[2].Values[0]-0.1914) > 0.001 {
+		t.Fatalf("scalar overhead %v", f.Rows[2].Values[0])
+	}
+	// The scalar scheme's cost is independent of thread count; the vector
+	// scheme's grows linearly (§2.4's scaling argument).
+	m := DefaultAreaModel()
+	m16 := m
+	m16.Threads = 16
+	if m16.ScalarOverhead() != m.ScalarOverhead() {
+		t.Fatal("scalar overhead depends on threads")
+	}
+	if m16.VectorPerLineOverhead() <= m.VectorPerLineOverhead()*2 {
+		t.Fatal("vector overhead did not grow with threads")
+	}
+}
+
+func TestOverheadRows(t *testing.T) {
+	o := smallOpts()
+	o.Scale = 1
+	rows, fig, err := RunOverhead(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(fig.Rows) != 4 { // 3 apps + average
+		t.Fatalf("rows %d figRows %d", len(rows), len(fig.Rows))
+	}
+	for _, r := range rows {
+		if r.BaselineCycles == 0 || r.CordCycles == 0 {
+			t.Fatalf("%s: zero cycles", r.App)
+		}
+		if r.Relative < 0.95 || r.Relative > 1.5 {
+			t.Fatalf("%s: implausible overhead %.3f", r.App, r.Relative)
+		}
+	}
+}
+
+func TestReplayCheckTable(t *testing.T) {
+	rows, err := RunReplayCheck(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Fatalf("%s: %s", r.App, r.Mismatch)
+		}
+		if r.LogBytes >= 1<<20 {
+			t.Fatalf("%s: log %d bytes", r.App, r.LogBytes)
+		}
+	}
+	var buf bytes.Buffer
+	tw := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	RenderReplay(rows, tw)
+	tw.Flush()
+	if !strings.Contains(buf.String(), "exact") {
+		t.Fatal("render missing status")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := RunTable1(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	RenderTable1(rows, tw)
+	tw.Flush()
+	for _, r := range rows {
+		if !strings.Contains(buf.String(), r.App) {
+			t.Fatalf("table missing %s", r.App)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cord/internal/core"
+	"cord/internal/machine"
+	"cord/internal/sim"
+	"cord/internal/trace"
+)
+
+// OverheadRow is one application's Figure 11 measurement.
+type OverheadRow struct {
+	App            string
+	BaselineCycles uint64
+	CordCycles     uint64
+	// Relative is CordCycles / BaselineCycles (1.004 = 0.4% overhead).
+	Relative float64
+	// CheckRequests and MemTsUpdates are CORD's address/timestamp-bus
+	// transactions during the run.
+	CheckRequests   uint64
+	MemTsBroadcasts uint64
+	LogBytes        int
+}
+
+// RunOverhead reproduces Figure 11: each application runs twice on the
+// detailed machine timing model — once without any CORD support and once
+// with the CORD detector's race-check and memory-timestamp traffic coupled
+// into the address/timestamp bus — and reports the execution-time ratio,
+// averaged over several seeds (the workloads' interleavings, and for
+// task-queue applications even the per-thread work split, vary with the
+// schedule, so single-seed ratios are noisy).
+func RunOverhead(o Options) ([]OverheadRow, Figure, error) {
+	o = o.withDefaults()
+	const seeds = 5
+	var rows []OverheadRow
+	fig := Figure{
+		ID:      "fig11",
+		Title:   "Execution time with CORD relative to baseline (no recording, no DRD)",
+		Columns: []string{"relative time"},
+		Notes: []string{
+			"paper: 0.4% average overhead, 3% worst case (cholesky)",
+			fmt.Sprintf("each cell is the cycle ratio summed over %d seeds", seeds),
+		},
+	}
+	var sumBase, sumCord uint64
+	for _, app := range o.Apps {
+		row := OverheadRow{App: app.Name}
+		for sd := uint64(0); sd < seeds; sd++ {
+			seed := o.BaseSeed + 31*sd
+			base, err := sim.New(sim.Config{
+				Seed: seed, Jitter: 2,
+				Cost: machine.New(machine.DefaultConfig()),
+			}, app.Build(o.Scale, o.Threads)).Run()
+			if err != nil {
+				return nil, Figure{}, fmt.Errorf("experiment: %s baseline: %w", app.Name, err)
+			}
+			det := core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16, Record: true})
+			cordRun, err := sim.New(sim.Config{
+				Seed: seed, Jitter: 2,
+				Cost:      machine.New(machine.DefaultConfig()),
+				Observers: []trace.Observer{det},
+				Primary:   det,
+			}, app.Build(o.Scale, o.Threads)).Run()
+			if err != nil {
+				return nil, Figure{}, fmt.Errorf("experiment: %s with CORD: %w", app.Name, err)
+			}
+			st := det.Stats()
+			row.BaselineCycles += base.Cycles
+			row.CordCycles += cordRun.Cycles
+			row.CheckRequests += st.CheckRequests
+			row.MemTsBroadcasts += st.MemTsBroadcasts
+			row.LogBytes += det.Log().SizeBytes()
+		}
+		row.Relative = float64(row.CordCycles) / float64(row.BaselineCycles)
+		rows = append(rows, row)
+		fig.Rows = append(fig.Rows, Row{Label: app.Name, Values: []float64{row.Relative}})
+		sumBase += row.BaselineCycles
+		sumCord += row.CordCycles
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "%-10s baseline=%d cord=%d (%.2f%%) checks=%d\n",
+				app.Name, row.BaselineCycles, row.CordCycles, (row.Relative-1)*100, row.CheckRequests)
+		}
+	}
+	fig.Rows = append(fig.Rows, Row{Label: "Average", Values: []float64{float64(sumCord) / float64(sumBase)}})
+	return rows, fig, nil
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"cord/internal/replay"
+)
+
+// ReplayRow is one application's §3.3-style record/replay verification.
+type ReplayRow struct {
+	App        string
+	Accesses   uint64
+	LogEntries int
+	LogBytes   int
+	Match      bool
+	Mismatch   string
+}
+
+// RunReplayCheck records and replays every application (one seed), checking
+// exact reproduction and the "<1 MB order log" claim.
+func RunReplayCheck(o Options) ([]ReplayRow, error) {
+	o = o.withDefaults()
+	var rows []ReplayRow
+	for _, app := range o.Apps {
+		out, err := replay.RecordAndReplay(app.Build(o.Scale, o.Threads), replay.Options{
+			Seed: o.BaseSeed + 1, Jitter: 7,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: replaying %s: %w", app.Name, err)
+		}
+		rows = append(rows, ReplayRow{
+			App:        app.Name,
+			Accesses:   out.Recorded.Accesses,
+			LogEntries: out.Log.Len(),
+			LogBytes:   out.Log.SizeBytes(),
+			Match:      out.Match,
+			Mismatch:   out.Mismatch,
+		})
+	}
+	return rows, nil
+}
+
+// RenderReplay writes the verification table.
+func RenderReplay(rows []ReplayRow, w *tabwriter.Writer) {
+	fmt.Fprintln(w, "app\taccesses\tlog entries\tlog bytes\treplay")
+	for _, r := range rows {
+		status := "exact"
+		if !r.Match {
+			status = "MISMATCH: " + r.Mismatch
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\n", r.App, r.Accesses, r.LogEntries, r.LogBytes, status)
+	}
+}

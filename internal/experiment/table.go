@@ -1,0 +1,75 @@
+// Package experiment reproduces the paper's evaluation (§4): the injection
+// campaign behind Figures 10 and 12–17, the performance-overhead comparison
+// of Figure 11, the Table 1 catalogue, the order-log/replay verification of
+// §3.3, and the chip-area arithmetic of §2.3–2.4.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Figure is one reproduced table or figure: rows of labelled values plus
+// explanatory notes.
+type Figure struct {
+	ID      string // e.g. "fig12"
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one labelled series of values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Percent formats v (a ratio) as a percentage cell; NaN renders as "-".
+func Percent(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID), f.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "app")
+	for _, c := range f.Columns {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range f.Rows {
+		fmt.Fprintf(tw, "%s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(tw, "\t%s", Percent(v))
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ratio divides, yielding NaN for an empty denominator so tables render "-".
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"cord/internal/sim"
+	"cord/internal/workload"
+)
+
+// Table1Row characterizes one application at the campaign's scale — the
+// reproduction's analogue of the paper's Table 1 input-set listing.
+type Table1Row struct {
+	App           string
+	PaperInput    string
+	Accesses      uint64
+	Instructions  uint64
+	SyncInstances uint64
+	Footprint     int // distinct non-zero words touched
+}
+
+// RunTable1 sizes every application with one plain run.
+func RunTable1(o Options) ([]Table1Row, error) {
+	o = o.withDefaults()
+	var rows []Table1Row
+	for _, app := range o.Apps {
+		res, err := sim.New(sim.Config{Seed: o.BaseSeed, Jitter: 7}, app.Build(o.Scale, o.Threads)).Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sizing %s: %w", app.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			App:           app.Name,
+			PaperInput:    app.Input,
+			Accesses:      res.Accesses,
+			Instructions:  res.Ops,
+			SyncInstances: res.SyncInstances,
+			Footprint:     res.Mem.Footprint(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 writes the catalogue.
+func RenderTable1(rows []Table1Row, w *tabwriter.Writer) {
+	fmt.Fprintln(w, "app\tpaper input\taccesses\tinstructions\tsync instances\twords touched")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\n",
+			r.App, r.PaperInput, r.Accesses, r.Instructions, r.SyncInstances, r.Footprint)
+	}
+}
+
+// allApps is a compile-time hook keeping the experiment package honest about
+// covering every Table 1 application.
+var _ = workload.All

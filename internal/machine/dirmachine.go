@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"cord/internal/cache"
+	"cord/internal/directory"
+	"cord/internal/memsys"
+	"cord/internal/trace"
+)
+
+// DirConfig sizes a directory-coherence machine: instead of shared buses,
+// processors exchange point-to-point messages over an on-chip network whose
+// cost is counted in hops. The home node for every line is its address
+// interleaved across processors.
+type DirConfig struct {
+	Procs     int
+	Hierarchy cache.HierarchyConfig
+	// HopCycles is the latency of one network hop (request or response).
+	HopCycles uint64
+	// HomeLookupCycles is the directory-access latency at the home node.
+	HomeLookupCycles uint64
+	// MemoryCycles is the DRAM access latency at the home node.
+	MemoryCycles uint64
+	// L1HitCycles and L2HitCycles match the snooping machine.
+	L1HitCycles, L2HitCycles uint64
+}
+
+// DefaultDirConfig returns a 16-processor directory machine with latencies
+// in the same regime as the §3.1 snooping chip.
+func DefaultDirConfig() DirConfig {
+	return DirConfig{
+		Procs:            16,
+		Hierarchy:        cache.DefaultHierarchy(),
+		HopCycles:        12,
+		HomeLookupCycles: 10,
+		MemoryCycles:     600,
+		L1HitCycles:      1,
+		L2HitCycles:      10,
+	}
+}
+
+// DirMachine is the timing model for the §2.5 directory extension. It keeps
+// its own presence hierarchies (mirroring the protocol state) and a
+// directory whose sharer sets price each transaction: a miss costs a
+// round trip to the home plus a forward/reply per sharer touched; CORD's
+// race checks cost the same message pattern without the data transfer, and
+// memory-timestamp updates are one message to the home.
+type DirMachine struct {
+	cfg   DirConfig
+	dir   *directory.Directory
+	procs []*cache.Hierarchy
+
+	// stats
+	misses, localHits uint64
+	msgCycles         uint64
+}
+
+// NewDirMachine builds an idle directory machine.
+func NewDirMachine(cfg DirConfig) *DirMachine {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 16
+	}
+	m := &DirMachine{cfg: cfg, dir: directory.New(cfg.Procs)}
+	for i := 0; i < cfg.Procs; i++ {
+		m.procs = append(m.procs, cache.NewHierarchy(cfg.Hierarchy))
+	}
+	return m
+}
+
+// Directory exposes the machine's sharer tracker (for message-count stats).
+func (m *DirMachine) Directory() *directory.Directory { return m.dir }
+
+// AccessCost implements the CostModel contract for the directory machine.
+func (m *DirMachine) AccessCost(now uint64, proc int, a trace.Access, rep trace.Report) uint64 {
+	c := m.cfg
+	l := memsys.LineOf(a.Addr)
+	h := m.procs[proc]
+
+	level, victim, evicted := h.Access(l)
+	var cost uint64
+	switch level {
+	case cache.L1Hit:
+		cost = c.L1HitCycles
+	case cache.L2Hit:
+		cost = c.L2HitCycles
+	default:
+		m.misses++
+		// Request to home, directory lookup, then either a forward to a
+		// sharer (3-hop) or DRAM at the home (2-hop + memory).
+		sharers := m.dir.Sharers(l, proc, nil)
+		m.dir.Request(len(sharers))
+		cost = c.HopCycles + c.HomeLookupCycles
+		if len(sharers) > 0 {
+			cost += 2 * c.HopCycles // forward + reply
+		} else {
+			cost += c.MemoryCycles + c.HopCycles
+		}
+	}
+	if level != cache.L1Hit && level != cache.L2Hit || a.Kind == trace.Write {
+		// Maintain protocol state: writes invalidate sharers (the
+		// invalidation messages overlap the reply and cost network
+		// occupancy, not requester latency).
+		if a.Kind == trace.Write {
+			for _, q := range m.dir.Sharers(l, proc, nil) {
+				m.procs[q].Invalidate(l)
+				m.msgCycles += c.HopCycles
+			}
+			m.dir.SetExclusive(l, proc)
+		} else {
+			m.dir.AddSharer(l, proc)
+		}
+	}
+	if evicted {
+		m.dir.RemoveSharer(victim, proc)
+		m.msgCycles += c.HopCycles // eviction notice to the home
+	}
+
+	// CORD traffic: a race check is a home round trip plus sharer
+	// forwards, hidden behind retirement (network occupancy only); a
+	// memory-timestamp update is one message to the home.
+	if rep.CheckRequests > 0 {
+		sharers := m.dir.Sharers(l, proc, nil)
+		m.msgCycles += uint64(rep.CheckRequests) * uint64(2+len(sharers)) * c.HopCycles
+	}
+	m.msgCycles += uint64(rep.MemTsUpdates) * c.HopCycles
+
+	return cost
+}
+
+// ComputeCost implements the CostModel contract.
+func (m *DirMachine) ComputeCost(proc int, n uint64) uint64 { return n }
+
+// DirStats summarizes the machine's activity.
+type DirStats struct {
+	Misses, LocalHits uint64
+	// MessageCycles is total network occupancy from protocol and CORD
+	// messages that did not delay the issuing instruction.
+	MessageCycles uint64
+	Directory     directory.Stats
+}
+
+// Stats returns the counters.
+func (m *DirMachine) Stats() DirStats {
+	return DirStats{
+		Misses:        m.misses,
+		LocalHits:     m.localHits,
+		MessageCycles: m.msgCycles,
+		Directory:     m.dir.Stats(),
+	}
+}

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/trace"
+)
+
+func dacc(proc int, addr memsys.Addr, kind trace.Kind) trace.Access {
+	return trace.Access{Proc: proc, Thread: proc, Addr: addr, Kind: kind, Class: trace.Data}
+}
+
+func TestDirMachineColdMissGoesToMemory(t *testing.T) {
+	m := NewDirMachine(DefaultDirConfig())
+	cost := m.AccessCost(0, 0, dacc(0, 0x4000, trace.Read), trace.Report{})
+	c := m.cfg
+	want := c.HopCycles + c.HomeLookupCycles + c.MemoryCycles + c.HopCycles
+	if cost != want {
+		t.Fatalf("cold miss cost = %d, want %d", cost, want)
+	}
+}
+
+func TestDirMachineSharerForwardCheaperThanMemory(t *testing.T) {
+	m := NewDirMachine(DefaultDirConfig())
+	m.AccessCost(0, 0, dacc(0, 0x4000, trace.Read), trace.Report{})
+	fwd := m.AccessCost(100, 1, dacc(1, 0x4000, trace.Read), trace.Report{})
+	mem := m.AccessCost(200, 2, dacc(2, 0x8000, trace.Read), trace.Report{})
+	if fwd >= mem {
+		t.Fatalf("3-hop forward (%d) should beat memory (%d)", fwd, mem)
+	}
+}
+
+func TestDirMachineHitIsLocal(t *testing.T) {
+	m := NewDirMachine(DefaultDirConfig())
+	m.AccessCost(0, 3, dacc(3, 0x4000, trace.Read), trace.Report{})
+	if cost := m.AccessCost(50, 3, dacc(3, 0x4000, trace.Read), trace.Report{}); cost != m.cfg.L1HitCycles {
+		t.Fatalf("hit cost = %d", cost)
+	}
+}
+
+func TestDirMachineWriteInvalidatesSharers(t *testing.T) {
+	m := NewDirMachine(DefaultDirConfig())
+	m.AccessCost(0, 0, dacc(0, 0x4000, trace.Read), trace.Report{})
+	m.AccessCost(10, 1, dacc(1, 0x4000, trace.Read), trace.Report{})
+	m.AccessCost(20, 2, dacc(2, 0x4000, trace.Write), trace.Report{})
+	// Proc 0 must miss now.
+	cost := m.AccessCost(1000, 0, dacc(0, 0x4000, trace.Read), trace.Report{})
+	if cost <= m.cfg.L2HitCycles {
+		t.Fatalf("invalidated copy still hit: cost %d", cost)
+	}
+	if !m.dir.Holds(memsys.LineOf(0x4000), 2) {
+		t.Fatal("writer not recorded as owner")
+	}
+}
+
+func TestDirMachineCordTrafficCounted(t *testing.T) {
+	m := NewDirMachine(DefaultDirConfig())
+	m.AccessCost(0, 0, dacc(0, 0x4000, trace.Read), trace.Report{})
+	before := m.Stats().MessageCycles
+	m.AccessCost(10, 0, dacc(0, 0x4000, trace.Read), trace.Report{CheckRequests: 1, MemTsUpdates: 2})
+	after := m.Stats().MessageCycles
+	if after <= before {
+		t.Fatal("CORD messages not accounted")
+	}
+}
+
+func TestDirMachineComputeCost(t *testing.T) {
+	m := NewDirMachine(DefaultDirConfig())
+	if m.ComputeCost(0, 9) != 9 {
+		t.Fatal("compute cost")
+	}
+}

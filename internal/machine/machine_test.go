@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/trace"
+)
+
+func acc(proc int, addr memsys.Addr, kind trace.Kind) trace.Access {
+	return trace.Access{Proc: proc, Thread: proc, Addr: addr, Kind: kind, Class: trace.Data}
+}
+
+func TestColdMissCostsMemoryLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	cost := m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	// Address bus + 600-cycle memory + data bus: comfortably over 600.
+	if cost < 600 {
+		t.Fatalf("cold miss cost = %d, want >= 600", cost)
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.MemFetches != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHitIsCheap(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	cost := m.AccessCost(100000, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	if cost != m.cfg.Timing.L1HitCycles {
+		t.Fatalf("L1 hit cost = %d", cost)
+	}
+}
+
+func TestCacheToCacheCheaperThanMemory(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	c2c := m.AccessCost(100000, 1, acc(1, 0x1000, trace.Read), trace.Report{})
+	mem := m.AccessCost(200000, 2, acc(2, 0x9000, trace.Read), trace.Report{})
+	if c2c >= mem {
+		t.Fatalf("cache-to-cache (%d) should be cheaper than memory (%d)", c2c, mem)
+	}
+	if st := m.Stats(); st.CacheToCache != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteInvalidatesRemoteCopies(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	m.AccessCost(10000, 1, acc(1, 0x1000, trace.Read), trace.Report{})
+	// Proc 1 writes: proc 0's copy must be invalidated -> proc 0 misses.
+	m.AccessCost(20000, 1, acc(1, 0x1000, trace.Write), trace.Report{})
+	cost := m.AccessCost(300000, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	if cost < m.cfg.Timing.CacheToCacheCycles {
+		t.Fatalf("read after remote write cost = %d, expected a miss", cost)
+	}
+}
+
+func TestUpgradeCountsOnSharedWriteHit(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	m.AccessCost(10000, 1, acc(1, 0x1000, trace.Read), trace.Report{})
+	m.AccessCost(20000, 0, acc(0, 0x1000, trace.Write), trace.Report{}) // hit, shared -> upgrade
+	if st := m.Stats(); st.Upgrades != 1 {
+		t.Fatalf("upgrades = %d", st.Upgrades)
+	}
+}
+
+func TestCordTrafficOccupiesAddrBus(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	before := m.Stats().AddrBusTrans
+	m.AccessCost(10000, 0, acc(0, 0x1000, trace.Read), trace.Report{CheckRequests: 2, MemTsUpdates: 1})
+	after := m.Stats().AddrBusTrans
+	if after-before != 3 {
+		t.Fatalf("addr bus transactions grew by %d, want 3", after-before)
+	}
+}
+
+func TestCheckStallOnlyUnderContention(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	// Single check on an idle bus: no retirement stall.
+	m.AccessCost(10000, 0, acc(0, 0x1000, trace.Read), trace.Report{CheckRequests: 1})
+	if st := m.Stats(); st.CheckStalls != 0 {
+		t.Fatalf("idle-bus check stalled: %+v", st)
+	}
+	// A burst of checks at one instant must eventually exceed the retire
+	// window and stall.
+	m.AccessCost(20000, 0, acc(0, 0x1000, trace.Read), trace.Report{CheckRequests: 40})
+	if st := m.Stats(); st.CheckStalls == 0 {
+		t.Fatal("burst of checks never stalled")
+	}
+}
+
+func TestComputeCost(t *testing.T) {
+	m := New(DefaultConfig())
+	if m.ComputeCost(0, 17) != 17 {
+		t.Fatal("compute cost not 1 cycle per unit")
+	}
+}

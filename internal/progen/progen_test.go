@@ -1,0 +1,87 @@
+package progen
+
+import (
+	"testing"
+
+	"cord/internal/sim"
+)
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := New(7, DefaultConfig())
+	b := New(7, DefaultConfig())
+	ra, err := sim.New(sim.Config{Seed: 3, Jitter: 5}, a.Prog).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sim.New(sim.Config{Seed: 3, Jitter: 5}, b.Prog).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Ops != rb.Ops || ra.Accesses != rb.Accesses {
+		t.Fatalf("same seed generated different programs: %+v vs %+v", ra, rb)
+	}
+	for i := range ra.ReadHash {
+		if ra.ReadHash[i] != rb.ReadHash[i] {
+			t.Fatal("read hashes differ")
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		p := New(seed, DefaultConfig())
+		res, err := sim.New(sim.Config{Seed: seed * 3, Jitter: 7}, p.Prog).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Hung {
+			t.Fatalf("seed %d: generated program deadlocked", seed)
+		}
+		if res.Accesses == 0 {
+			t.Fatalf("seed %d: program did nothing", seed)
+		}
+	}
+}
+
+func TestFirstPhaseSyncCountsAreExact(t *testing.T) {
+	// Removing the Nth (N <= FirstPhaseSync[t]) instance of thread t must
+	// fire in every schedule.
+	p := New(11, DefaultConfig())
+	for tid, n := range p.FirstPhaseSync {
+		if n == 0 {
+			continue
+		}
+		for _, seed := range []uint64{1, 9, 77} {
+			res, err := sim.New(sim.Config{
+				Seed: seed, Jitter: 7,
+				InjectThread: tid, InjectThreadNth: uint64(n),
+			}, New(11, DefaultConfig()).Prog).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.InjectedThread != tid || res.InjectedThreadNth != uint64(n) {
+				t.Fatalf("injection (t%d,#%d) did not fire at seed %d: got (t%d,#%d)",
+					tid, n, seed, res.InjectedThread, res.InjectedThreadNth)
+			}
+		}
+		break // one thread suffices per run; loop kept for the zero-skip
+	}
+}
+
+func TestVariedShapes(t *testing.T) {
+	shapes := []Config{
+		{Threads: 2, Regions: 1, RegionWords: 4, OpsPerThread: 10},
+		{Threads: 8, Regions: 12, RegionWords: 64, OpsPerThread: 80, Phases: 3, PrivateWords: 256},
+		{Threads: 3, Regions: 2, RegionWords: 8, OpsPerThread: 30, Phases: 1},
+	}
+	for i, cfg := range shapes {
+		p := New(uint64(i)+100, cfg)
+		res, err := sim.New(sim.Config{Seed: 5, Jitter: 7, Procs: cfg.Threads}, p.Prog).Run()
+		if err != nil {
+			t.Fatalf("shape %d: %v", i, err)
+		}
+		if res.Hung {
+			t.Fatalf("shape %d hung", i)
+		}
+	}
+}

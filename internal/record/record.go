@@ -1,0 +1,161 @@
+// Package record implements the order-recording log of §2.7.1: when a
+// thread's logical clock changes, an 8-byte entry is appended containing the
+// previous clock value (16 bits), the thread ID (16 bits), and the number of
+// instructions executed with that clock value (32 bits). The log, ordered by
+// logical time, drives deterministic replay (internal/replay).
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"cord/internal/clock"
+)
+
+// EntryBytes is the on-disk size of one log entry.
+const EntryBytes = 8
+
+// Entry is one order-log record: thread Thread executed Instr instructions
+// while its logical clock held the value Clock.
+type Entry struct {
+	Clock  clock.Scalar
+	Thread uint16
+	Instr  uint32
+}
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	return fmt.Sprintf("{t%d clk=%d n=%d}", e.Thread, e.Clock, e.Instr)
+}
+
+// Log is an append-only order log. The zero value is ready to use.
+type Log struct {
+	entries []Entry
+}
+
+// Append adds an entry.
+func (l *Log) Append(e Entry) { l.entries = append(l.entries, e) }
+
+// Entries returns the raw entries in append order.
+func (l *Log) Entries() []Entry { return l.entries }
+
+// Len returns the entry count.
+func (l *Log) Len() int { return len(l.entries) }
+
+// SizeBytes returns the encoded payload size (excluding the file header);
+// this is the number the paper's "<1 MB per run" claim is about.
+func (l *Log) SizeBytes() int { return len(l.entries) * EntryBytes }
+
+// magic identifies an encoded CORD log stream.
+var magic = [4]byte{'C', 'O', 'R', 'D'}
+
+const version = 1
+
+// EncodeTo writes the log in its binary format: a 16-byte header (magic,
+// version, entry count) followed by 8-byte little-endian entries.
+func (l *Log) EncodeTo(w io.Writer) error {
+	var hdr [16]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(l.entries)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("record: writing header: %w", err)
+	}
+	var buf [EntryBytes]byte
+	for _, e := range l.entries {
+		binary.LittleEndian.PutUint16(buf[0:2], uint16(e.Clock))
+		binary.LittleEndian.PutUint16(buf[2:4], e.Thread)
+		binary.LittleEndian.PutUint32(buf[4:8], e.Instr)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fmt.Errorf("record: writing entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// ErrBadFormat reports a malformed encoded log.
+var ErrBadFormat = errors.New("record: malformed log stream")
+
+// DecodeFrom reads a log previously written by EncodeTo.
+func DecodeFrom(r io.Reader) (*Log, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("record: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxEntries = 1 << 30 // 8 GiB of log; far beyond any real run
+	if n > maxEntries {
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrBadFormat, n)
+	}
+	l := &Log{entries: make([]Entry, 0, n)}
+	var buf [EntryBytes]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("record: reading entry %d: %w", i, err)
+		}
+		l.entries = append(l.entries, Entry{
+			Clock:  clock.Scalar(binary.LittleEndian.Uint16(buf[0:2])),
+			Thread: binary.LittleEndian.Uint16(buf[2:4]),
+			Instr:  binary.LittleEndian.Uint32(buf[4:8]),
+		})
+	}
+	return l, nil
+}
+
+// Epoch is a decoded, unwrapped log entry: thread Thread runs Instr
+// instructions at unwrapped logical time Time. Epochs with equal Time are
+// guaranteed non-conflicting by the recorder (conflicting accesses never
+// share a clock value, §2.7.1) and may replay in any order.
+type Epoch struct {
+	Time   uint64
+	Thread int
+	Instr  uint32
+	// Index preserves the per-thread epoch order for stable sorting.
+	Index int
+}
+
+// Schedule unwraps the 16-bit clock values into monotone 64-bit logical
+// times (entries from one thread are appended in nondecreasing clock order
+// and consecutive entries always lie within the sliding window, so the
+// per-thread deltas are unambiguous) and returns the epochs sorted by
+// logical time, breaking ties by per-thread appearance order.
+func (l *Log) Schedule(numThreads int) ([]Epoch, error) {
+	last := make([]clock.Scalar, numThreads)
+	unwrapped := make([]uint64, numThreads)
+	started := make([]bool, numThreads)
+	epochs := make([]Epoch, 0, len(l.entries))
+	for i, e := range l.entries {
+		t := int(e.Thread)
+		if t >= numThreads {
+			return nil, fmt.Errorf("record: entry %d names thread %d, have %d threads", i, t, numThreads)
+		}
+		if !started[t] {
+			started[t] = true
+			unwrapped[t] = uint64(e.Clock)
+		} else {
+			delta := uint16(e.Clock - last[t])
+			if int(delta) > clock.Window {
+				return nil, fmt.Errorf("record: entry %d clock regressed for thread %d", i, t)
+			}
+			unwrapped[t] += uint64(delta)
+		}
+		last[t] = e.Clock
+		epochs = append(epochs, Epoch{Time: unwrapped[t], Thread: t, Instr: e.Instr, Index: i})
+	}
+	sort.SliceStable(epochs, func(a, b int) bool {
+		if epochs[a].Time != epochs[b].Time {
+			return epochs[a].Time < epochs[b].Time
+		}
+		return epochs[a].Index < epochs[b].Index
+	})
+	return epochs, nil
+}

@@ -1,0 +1,166 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cord/internal/clock"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var l Log
+	l.Append(Entry{Clock: 1, Thread: 0, Instr: 10})
+	l.Append(Entry{Clock: 5, Thread: 1, Instr: 0})
+	l.Append(Entry{Clock: 0xFFFF, Thread: 3, Instr: 1 << 30})
+	var buf bytes.Buffer
+	if err := l.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 16+3*EntryBytes {
+		t.Fatalf("encoded %d bytes", buf.Len())
+	}
+	got, err := DecodeFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("decoded %d entries", got.Len())
+	}
+	for i, e := range got.Entries() {
+		if e != l.Entries()[i] {
+			t.Fatalf("entry %d: %v != %v", i, e, l.Entries()[i])
+		}
+	}
+}
+
+// Property: arbitrary logs round-trip through the binary format.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(entries []struct {
+		C uint16
+		T uint8
+		I uint32
+	}) bool {
+		var l Log
+		for _, e := range entries {
+			l.Append(Entry{Clock: clock.Scalar(e.C), Thread: uint16(e.T), Instr: e.I})
+		}
+		var buf bytes.Buffer
+		if err := l.EncodeTo(&buf); err != nil {
+			return false
+		}
+		got, err := DecodeFrom(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != l.Len() {
+			return false
+		}
+		for i := range l.Entries() {
+			if got.Entries()[i] != l.Entries()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFrom(strings.NewReader("not a log at all....")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeFrom(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Correct magic, truncated entries.
+	var l Log
+	l.Append(Entry{Clock: 1, Thread: 0, Instr: 1})
+	var buf bytes.Buffer
+	if err := l.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := DecodeFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestScheduleOrdersByTime(t *testing.T) {
+	var l Log
+	l.Append(Entry{Clock: 1, Thread: 0, Instr: 3})
+	l.Append(Entry{Clock: 1, Thread: 1, Instr: 2})
+	l.Append(Entry{Clock: 5, Thread: 1, Instr: 4})
+	l.Append(Entry{Clock: 3, Thread: 0, Instr: 1})
+	eps, err := l.Schedule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []uint64{}
+	for _, e := range eps {
+		times = append(times, e.Time)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("epochs out of order: %v", times)
+		}
+	}
+	if eps[0].Time != 1 || eps[len(eps)-1].Time != 5 {
+		t.Fatalf("unexpected schedule %+v", eps)
+	}
+}
+
+func TestScheduleUnwrapsClockWrap(t *testing.T) {
+	var l Log
+	// Thread 0's clock walks across the 16-bit wrap point.
+	l.Append(Entry{Clock: 0xFFF0, Thread: 0, Instr: 1})
+	l.Append(Entry{Clock: 0x0010, Thread: 0, Instr: 1}) // +0x20 wrapped
+	l.Append(Entry{Clock: 0x4000, Thread: 0, Instr: 1})
+	eps, err := l.Schedule(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps[0].Time != 0xFFF0 {
+		t.Fatalf("first time %d", eps[0].Time)
+	}
+	if eps[1].Time != 0xFFF0+0x20 {
+		t.Fatalf("wrapped time %d, want %d", eps[1].Time, 0xFFF0+0x20)
+	}
+	if eps[2].Time <= eps[1].Time {
+		t.Fatal("monotonicity lost across wrap")
+	}
+}
+
+func TestScheduleRejectsBadThread(t *testing.T) {
+	var l Log
+	l.Append(Entry{Clock: 1, Thread: 7, Instr: 1})
+	if _, err := l.Schedule(2); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+}
+
+func TestScheduleStableTies(t *testing.T) {
+	var l Log
+	l.Append(Entry{Clock: 4, Thread: 0, Instr: 1})
+	l.Append(Entry{Clock: 4, Thread: 1, Instr: 2})
+	eps, err := l.Schedule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps[0].Thread != 0 || eps[1].Thread != 1 {
+		t.Fatal("tie order not stable by append order")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	var l Log
+	for i := 0; i < 100; i++ {
+		l.Append(Entry{Clock: clock.Scalar(i), Thread: 0, Instr: 1})
+	}
+	if l.SizeBytes() != 800 {
+		t.Fatalf("SizeBytes = %d", l.SizeBytes())
+	}
+}

@@ -1,0 +1,47 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"cord/internal/memsys"
+	"cord/internal/sim"
+)
+
+func mkResult(ops uint64, ti []uint64, rh []uint64, mem map[memsys.Addr]uint64, hung bool) sim.Result {
+	m := memsys.NewMemory()
+	for a, v := range mem {
+		m.Store(a, v)
+	}
+	return sim.Result{Ops: ops, ThreadInstr: ti, ReadHash: rh, Mem: m, Hung: hung}
+}
+
+func TestCompareBranches(t *testing.T) {
+	base := func() sim.Result {
+		return mkResult(10, []uint64{4, 6}, []uint64{1, 2}, map[memsys.Addr]uint64{64: 9}, false)
+	}
+	if ok, _ := compare(base(), base()); !ok {
+		t.Fatal("identical results should match")
+	}
+	cases := []struct {
+		mutate func(*sim.Result)
+		want   string
+	}{
+		{func(r *sim.Result) { r.Hung = true }, "diverged"},
+		{func(r *sim.Result) { r.Ops = 11 }, "instruction counts differ"},
+		{func(r *sim.Result) { r.ThreadInstr[1] = 7 }, "thread 1 instruction count"},
+		{func(r *sim.Result) { r.ReadHash[0] = 99 }, "read-value sequence"},
+		{func(r *sim.Result) { r.Mem.Store(64, 8) }, "memory images differ"},
+	}
+	for i, c := range cases {
+		b := base()
+		c.mutate(&b)
+		ok, why := compare(base(), b)
+		if ok {
+			t.Fatalf("case %d: mismatch not detected", i)
+		}
+		if !strings.Contains(why, c.want) {
+			t.Fatalf("case %d: reason %q missing %q", i, why, c.want)
+		}
+	}
+}

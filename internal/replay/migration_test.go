@@ -1,0 +1,116 @@
+package replay
+
+import (
+	"testing"
+
+	"cord/internal/baseline"
+	"cord/internal/core"
+	"cord/internal/progen"
+	"cord/internal/sim"
+	"cord/internal/trace"
+	"cord/internal/workload"
+)
+
+// TestMigrationNoFalsePositives: §2.7.4 — a migrating thread meets its own
+// stale timestamps on its previous processor; the D bump on migration must
+// keep every configuration free of false reports on race-free programs.
+func TestMigrationNoFalsePositives(t *testing.T) {
+	for _, every := range []uint64{3, 11} {
+		for seed := uint64(0); seed < 6; seed++ {
+			p := progen.New(seed+40, progen.DefaultConfig())
+			ideal := baseline.NewIdeal(4)
+			dets := []*core.Detector{
+				core.New(core.Config{Threads: 4, D: 4}),
+				core.New(core.Config{Threads: 4, D: 16}),
+			}
+			obs := []trace.Observer{ideal}
+			for _, d := range dets {
+				obs = append(obs, d)
+			}
+			res, err := sim.New(sim.Config{
+				Seed: seed, Jitter: 7, MigrateEvery: every,
+				Observers: obs,
+			}, p.Prog).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Hung {
+				t.Fatalf("seed %d hung", seed)
+			}
+			if ideal.RaceCount() != 0 {
+				t.Fatalf("oracle flagged a race-free program under migration")
+			}
+			for _, d := range dets {
+				if d.RaceCount() != 0 {
+					t.Fatalf("seed %d every %d: %s reported %d races under migration",
+						seed, every, d.Name(), d.RaceCount())
+				}
+			}
+		}
+	}
+}
+
+// TestMigrationWithInjectionStillConfirmed: injected races found under
+// migration remain oracle-confirmed by address and kind (thread attribution
+// of the first access is heuristic after migration, so only the report's
+// second side is checked here).
+func TestMigrationWithInjectionStillConfirmed(t *testing.T) {
+	app, err := workload.ByName("raytrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := baseline.NewIdeal(4)
+	det := core.New(core.Config{Threads: 4, D: 16})
+	res, err := sim.New(sim.Config{
+		Seed: 6, Jitter: 7, MigrateEvery: 9, InjectSkip: 4,
+		Observers: []trace.Observer{ideal, det},
+	}, app.Build(1, 4)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hung {
+		t.Skip("injection hung this seed")
+	}
+	// The racy second accesses CORD reports must be racy per the oracle.
+	racySeconds := map[uint64]bool{}
+	for _, r := range ideal.Races() {
+		racySeconds[r.Second.Seq] = true
+	}
+	for _, r := range det.Races() {
+		if !racySeconds[r.Second.Seq] {
+			t.Fatalf("report on a non-racy access under migration: %+v", r)
+		}
+	}
+}
+
+// TestMigrationReplayExact: migrations do not break replay (they are clock
+// events, fully captured in the log; processor placement does not affect
+// program semantics).
+func TestMigrationReplayExact(t *testing.T) {
+	app, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(core.Config{Threads: 4, D: 16, Record: true})
+	rec, err := sim.New(sim.Config{
+		Seed: 4, Jitter: 7, MigrateEvery: 5,
+		Observers: []trace.Observer{det},
+	}, app.Build(1, 4)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := det.Log().Schedule(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.New(sim.Config{
+		Seed: 4, ReplayEpochs: epochs, MigrateEvery: 5,
+	}, app.Build(1, 4)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, why := compare(rec, rep)
+	if !ok {
+		t.Fatalf("replay under migration: %s", why)
+	}
+}

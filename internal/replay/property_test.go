@@ -1,0 +1,170 @@
+package replay
+
+import (
+	"testing"
+
+	"cord/internal/baseline"
+	"cord/internal/core"
+	"cord/internal/progen"
+	"cord/internal/sim"
+	"cord/internal/trace"
+)
+
+// TestPropertyRaceFreeSilence: random properly-synchronized programs produce
+// zero reports from every detector configuration.
+func TestPropertyRaceFreeSilence(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p := progen.New(seed, progen.DefaultConfig())
+		ideal := baseline.NewIdeal(4)
+		vec := baseline.NewVecCache(baseline.VecConfig{Threads: 4, Bound: baseline.BoundL1})
+		cords := []*core.Detector{
+			core.New(core.Config{Threads: 4, D: 1}),
+			core.New(core.Config{Threads: 4, D: 16}),
+			core.New(core.Config{Threads: 4, D: 256}),
+		}
+		obs := []trace.Observer{ideal, vec}
+		for _, d := range cords {
+			obs = append(obs, d)
+		}
+		res, err := sim.New(sim.Config{Seed: seed + 1, Jitter: 7, Observers: obs}, p.Prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hung {
+			t.Fatalf("seed %d hung", seed)
+		}
+		if n := ideal.RaceCount(); n != 0 {
+			t.Fatalf("seed %d: oracle found %d races in a race-free program (first %v)",
+				seed, n, ideal.Races()[0])
+		}
+		if vec.RaceCount() != 0 {
+			t.Fatalf("seed %d: vector baseline reported on a race-free program", seed)
+		}
+		for _, d := range cords {
+			if d.RaceCount() != 0 {
+				t.Fatalf("seed %d: %s reported on a race-free program", seed, d.Name())
+			}
+		}
+	}
+}
+
+// TestPropertyInjectedNoFalsePositives: with one randomly chosen sync
+// instance removed, every CORD (and vector) report must be confirmed by the
+// oracle.
+func TestPropertyInjectedNoFalsePositives(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p := progen.New(seed, progen.DefaultConfig())
+		tid := int(seed) % 4
+		nth := p.FirstPhaseSync[tid]
+		if nth == 0 {
+			continue
+		}
+		ideal := baseline.NewIdeal(4)
+		vec := baseline.NewVecCache(baseline.VecConfig{Threads: 4, Bound: baseline.BoundL2})
+		det := core.New(core.Config{Threads: 4, D: 16})
+		det256 := core.New(core.Config{Threads: 4, D: 256})
+		res, err := sim.New(sim.Config{
+			Seed: seed*13 + 5, Jitter: 7,
+			InjectThread: tid, InjectThreadNth: uint64(1 + int(seed)%nth),
+			Observers: []trace.Observer{ideal, vec, det, det256},
+		}, p.Prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hung {
+			continue
+		}
+		for _, r := range det.Races() {
+			if !ideal.Confirms(r) {
+				t.Fatalf("seed %d: CORD false positive %v", seed, r)
+			}
+		}
+		for _, r := range det256.Races() {
+			if !ideal.Confirms(r) {
+				t.Fatalf("seed %d: CORD(256) false positive %v", seed, r)
+			}
+		}
+		for _, r := range vec.Races() {
+			if !ideal.Confirms(r) {
+				t.Fatalf("seed %d: vector false positive %v", seed, r)
+			}
+		}
+	}
+}
+
+// TestPropertyReplayRoundTrip: record-then-replay reproduces random programs
+// exactly, clean and injected.
+func TestPropertyReplayRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		p := progen.New(seed, progen.DefaultConfig())
+		inject := uint64(0)
+		if seed%2 == 1 {
+			inject = seed % 11
+		}
+		out, err := RecordAndReplay(p.Prog, Options{Seed: seed + 3, Jitter: 7, InjectSkip: inject})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Recorded.Hung {
+			continue
+		}
+		if !out.Match {
+			t.Fatalf("seed %d (inject %d): replay mismatch: %s", seed, inject, out.Mismatch)
+		}
+	}
+}
+
+// TestPropertyConflictOrdering: the replay-soundness invariant holds on
+// random programs with injections.
+func TestPropertyConflictOrdering(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		p := progen.New(seed+500, progen.DefaultConfig())
+		oc := newOrderChecker(4, 16)
+		res, err := sim.New(sim.Config{
+			Seed: seed, Jitter: 7, InjectSkip: seed % 9,
+			Observers: []trace.Observer{oc},
+		}, p.Prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hung {
+			continue
+		}
+		if oc.violation != "" {
+			t.Fatalf("seed %d: %s", seed, oc.violation)
+		}
+	}
+}
+
+// TestPropertyEightThreads: everything holds beyond the default four threads
+// (CORD's scalar state is thread-count independent — the paper's scaling
+// argument).
+func TestPropertyEightThreads(t *testing.T) {
+	cfg := progen.DefaultConfig()
+	cfg.Threads = 8
+	for seed := uint64(0); seed < 6; seed++ {
+		p := progen.New(seed+900, cfg)
+		ideal := baseline.NewIdeal(8)
+		det := core.New(core.Config{Threads: 8, Procs: 8, D: 16, Record: true})
+		res, err := sim.New(sim.Config{
+			Seed: seed, Jitter: 7, Procs: 8,
+			Observers: []trace.Observer{ideal, det},
+		}, p.Prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hung {
+			t.Fatalf("seed %d hung", seed)
+		}
+		if ideal.RaceCount() != 0 || det.RaceCount() != 0 {
+			t.Fatalf("seed %d: reports on race-free 8-thread program", seed)
+		}
+		out, err := RecordAndReplay(p.Prog, Options{Seed: seed, Jitter: 7, Procs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Match {
+			t.Fatalf("seed %d: 8-thread replay mismatch: %s", seed, out.Mismatch)
+		}
+	}
+}

@@ -1,0 +1,711 @@
+// Package sim is the execution engine of the simulated chip-multiprocessor.
+// Workload threads are Go functions programmed against the Env API; the
+// engine runs them as coroutines under a deterministic scheduler, serializes
+// every shared-memory access into a global order, delivers the access stream
+// to the attached detectors, advances per-thread virtual time through a
+// pluggable cost model, and implements the paper's methodology hooks:
+// sync-removal fault injection (§3.4), thread migration (§2.7.4), and
+// log-driven deterministic replay (§2.7.1).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"cord/internal/memsys"
+	"cord/internal/record"
+	"cord/internal/trace"
+)
+
+// Program is a runnable multi-threaded workload. Body is invoked once per
+// thread; all cross-thread communication must go through the Env (the
+// simulated shared memory), never through shared Go state, so that an
+// execution is fully determined by the engine's scheduling decisions.
+type Program struct {
+	Name    string
+	Threads int
+	// Init pre-loads memory values before any thread starts.
+	Init func(mem *memsys.Memory)
+	// Body is the per-thread code.
+	Body func(t int, env *Env)
+}
+
+// Config controls one execution.
+type Config struct {
+	// Procs is the number of processors (default 4). Threads beyond Procs
+	// share processors round-robin.
+	Procs int
+	// Seed drives all scheduling jitter; identical seeds reproduce
+	// identical executions.
+	Seed uint64
+	// Jitter is the maximum random extra cost (in cycles) added to each
+	// operation, to vary interleavings across seeds. Zero disables it.
+	Jitter uint64
+	// Cost prices operations; nil selects a SimpleCost model.
+	Cost CostModel
+	// Observers receive the access stream in global order.
+	Observers []trace.Observer
+	// Primary, when non-nil, is the observer whose Reports feed the cost
+	// model (the CORD detector in performance runs). It must also appear
+	// in Observers.
+	Primary trace.Observer
+	// InjectSkip, when non-zero, removes the InjectSkip-th dynamic
+	// synchronization instance (1-based) in global execution order: a lock
+	// acquire together with its matching release, or a single flag wait
+	// (§3.4).
+	InjectSkip uint64
+	// InjectThread/InjectThreadNth name the injected instance in an
+	// interleaving-independent way: remove thread InjectThread's
+	// InjectThreadNth-th own sync instance. Used by replay, which must
+	// remove the same instance the recorded run removed even though the
+	// global interleaving of concurrent epochs may differ. Active when
+	// InjectThreadNth is non-zero; InjectSkip is ignored then.
+	InjectThread    int
+	InjectThreadNth uint64
+	// MigrateEvery, when non-zero, migrates the issuing thread to the next
+	// processor after every MigrateEvery-th dynamic sync instance.
+	MigrateEvery uint64
+	// ReplayEpochs, when non-nil, switches the scheduler to log-driven
+	// replay: epochs run in order, each granting its thread a quota of
+	// committed instructions.
+	ReplayEpochs []record.Epoch
+	// MaxOps aborts runaway executions (default 50M committed ops).
+	MaxOps uint64
+	// TraceReads, when set, receives every read's value (diagnostics).
+	TraceReads func(thread int, addr memsys.Addr, value uint64)
+}
+
+// Result summarizes one execution.
+type Result struct {
+	// Cycles is the finishing virtual time (max over threads).
+	Cycles uint64
+	// Ops is the total committed instruction count.
+	Ops uint64
+	// Accesses is the number of shared-memory access events delivered.
+	Accesses uint64
+	// SyncInstances is the number of countable dynamic sync instances
+	// (lock acquires and flag waits, §3.4) that occurred.
+	SyncInstances uint64
+	// InjectedThread and InjectedThreadNth identify, per-thread, the sync
+	// instance an injection removed (InjectedThread is -1 when nothing
+	// fired). Replay passes these back as InjectThread/InjectThreadNth.
+	InjectedThread    int
+	InjectedThreadNth uint64
+	// ReadHash fingerprints each thread's sequence of read values; replay
+	// must reproduce it exactly.
+	ReadHash []uint64
+	// ThreadInstr is each thread's committed instruction count.
+	ThreadInstr []uint64
+	// Mem is the final memory image.
+	Mem *memsys.Memory
+	// Hung reports that the execution deadlocked (possible when injection
+	// removes a barrier-internal primitive); partial results are valid.
+	Hung bool
+}
+
+// ErrReplayDivergence reports that a replayed execution could not follow the
+// log (the log is inconsistent with the program or injection plan).
+var ErrReplayDivergence = errors.New("sim: replay diverged from log")
+
+type threadState int
+
+const (
+	stReady threadState = iota
+	stBlocked
+	stDone
+)
+
+type reqKind int
+
+const (
+	reqNone reqKind = iota
+	reqRead
+	reqWrite
+	reqTAS
+	reqCompute
+	reqBlock
+	reqLockEnter
+	reqUnlockEnter
+	reqFlagWaitEnter
+)
+
+type request struct {
+	kind  reqKind
+	addr  memsys.Addr
+	value uint64
+	class trace.Class
+	n     uint64
+	micro bool // sub-instruction access: commits no instruction
+}
+
+type response struct {
+	value uint64
+	skip  bool
+	abort bool
+}
+
+type threadCtx struct {
+	id     int
+	proc   int
+	vtime  uint64
+	instr  uint64 // committed instructions
+	state  threadState
+	block  memsys.Addr
+	req    request
+	resume chan response
+	hash   uint64 // FNV-1a over read values
+	eng    *Engine
+}
+
+type threadEvent struct {
+	t   *threadCtx
+	don bool
+	err error
+}
+
+type lockKey struct {
+	thread int
+	addr   memsys.Addr
+}
+
+// Engine executes one Program under one Config. An Engine is single-use.
+type Engine struct {
+	cfg         Config
+	prog        Program
+	mem         *memsys.Memory
+	threads     []*threadCtx
+	events      chan threadEvent
+	rng         *rand.Rand
+	seq         uint64
+	ops         uint64
+	syncN       uint64
+	threadSyncN []uint64
+	injThread   int
+	injNth      uint64
+	skipped     map[lockKey]int // lock pairs removed by injection (count, to nest)
+	primIdx     int
+
+	// replay state
+	replay     bool
+	epochs     []record.Epoch
+	epochIdx   int
+	epochRun   uint32 // instructions committed in the current epoch
+	epochFresh bool   // epoch just began: drain the thread's micro-ops first
+
+	lastAccess trace.Access
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+// New builds an engine for one run.
+func New(cfg Config, prog Program) *Engine {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 4
+	}
+	if cfg.MaxOps == 0 {
+		cfg.MaxOps = 50_000_000
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = SimpleCost{}
+	}
+	e := &Engine{
+		cfg:         cfg,
+		prog:        prog,
+		mem:         memsys.NewMemory(),
+		events:      make(chan threadEvent),
+		rng:         rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		skipped:     make(map[lockKey]int),
+		primIdx:     -1,
+		threadSyncN: make([]uint64, prog.Threads),
+		injThread:   -1,
+		replay:      cfg.ReplayEpochs != nil,
+		epochs:      cfg.ReplayEpochs,
+		epochFresh:  true,
+	}
+	for i, o := range cfg.Observers {
+		if o == cfg.Primary {
+			e.primIdx = i
+		}
+	}
+	for t := 0; t < prog.Threads; t++ {
+		e.threads = append(e.threads, &threadCtx{
+			id:     t,
+			proc:   t % cfg.Procs,
+			resume: make(chan response),
+			hash:   fnvOffset,
+			eng:    e,
+		})
+	}
+	return e
+}
+
+// Run executes the program to completion (or deadlock) and returns the
+// result. It is not safe to call twice.
+func (e *Engine) Run() (Result, error) {
+	if e.prog.Init != nil {
+		e.prog.Init(e.mem)
+	}
+	for _, t := range e.threads {
+		t := t
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r == errAborted {
+						e.events <- threadEvent{t: t, don: true}
+						return
+					}
+					e.events <- threadEvent{t: t, don: true, err: fmt.Errorf("sim: thread %d panicked: %v", t.id, r)}
+					return
+				}
+				e.events <- threadEvent{t: t, don: true}
+			}()
+			env := &Env{t: t}
+			e.prog.Body(t.id, env)
+		}()
+	}
+	// Threads run concurrently only until their first Env call; collect one
+	// event (a parked request, or completion) from every thread before
+	// entering the deterministic loop.
+	parked := 0
+	var firstErr error
+	for parked < len(e.threads) {
+		ev := <-e.events
+		if ev.don {
+			ev.t.state = stDone
+			if ev.err != nil && firstErr == nil {
+				firstErr = ev.err
+			}
+		} else {
+			e.absorbBlock(ev.t)
+		}
+		parked++
+	}
+	if firstErr != nil {
+		e.abortAll()
+		return Result{}, firstErr
+	}
+
+	hung := false
+	var runErr error
+	for {
+		t := e.pick()
+		if t == nil {
+			if e.allDone() {
+				break
+			}
+			if e.replay && e.replayRecoverable() {
+				continue
+			}
+			hung = true
+			break
+		}
+		if e.ops > e.cfg.MaxOps || e.seq > 8*e.cfg.MaxOps {
+			runErr = fmt.Errorf("sim: %s exceeded op budget %d", e.prog.Name, e.cfg.MaxOps)
+			break
+		}
+		var resp response
+		if t.req.kind == reqNone {
+			// Thread was woken from a block; resume it with no payload.
+			resp = response{}
+		} else {
+			var err error
+			resp, err = e.process(t)
+			if err != nil {
+				runErr = err
+				break
+			}
+			if t.state == stBlocked {
+				// The thread went to sleep; leave it parked on its
+				// resume channel until wake() readies it again.
+				continue
+			}
+		}
+		t.req.kind = reqNone
+		// Resume the thread and wait for its next request or completion.
+		t.resume <- resp
+		ev := <-e.events
+		if ev.don {
+			ev.t.state = stDone
+			e.finishThread(ev.t)
+			if ev.err != nil {
+				runErr = ev.err
+				break
+			}
+		} else {
+			e.absorbBlock(ev.t)
+		}
+	}
+	e.abortAll()
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	for _, o := range e.cfg.Observers {
+		o.Finish()
+	}
+	res := Result{
+		Ops:               e.ops,
+		Accesses:          e.seq,
+		SyncInstances:     e.syncN,
+		Mem:               e.mem,
+		Hung:              hung,
+		InjectedThread:    e.injThread,
+		InjectedThreadNth: e.injNth,
+	}
+	for _, t := range e.threads {
+		if t.vtime > res.Cycles {
+			res.Cycles = t.vtime
+		}
+		res.ReadHash = append(res.ReadHash, t.hash)
+		res.ThreadInstr = append(res.ThreadInstr, t.instr)
+	}
+	return res, nil
+}
+
+func (e *Engine) allDone() bool {
+	for _, t := range e.threads {
+		if t.state != stDone {
+			return false
+		}
+	}
+	return true
+}
+
+// abortAll unblocks any parked thread goroutines so they exit.
+func (e *Engine) abortAll() {
+	for _, t := range e.threads {
+		if t.state != stDone {
+			t.state = stDone
+			t.resume <- response{abort: true}
+			<-e.events // the goroutine acknowledges via its done event
+		}
+	}
+}
+
+func (e *Engine) finishThread(t *threadCtx) {
+	for _, o := range e.cfg.Observers {
+		o.ThreadDone(t.id, t.instr)
+	}
+}
+
+// pick selects the next thread to run: in normal mode the runnable thread
+// with the minimum virtual time (ties by id); in replay mode the thread named
+// by the current epoch.
+func (e *Engine) pick() *threadCtx {
+	if e.replay {
+		return e.pickReplay()
+	}
+	var best *threadCtx
+	for _, t := range e.threads {
+		if t.state != stReady {
+			continue
+		}
+		if best == nil || t.vtime < best.vtime {
+			best = t
+		}
+	}
+	return best
+}
+
+// reqWidth is how many instructions the thread's pending request would
+// commit: zero for the sub-instruction micro-operations (test-and-set,
+// wake-from-block resumption), which the order log cannot see directly.
+func reqWidth(r request) uint64 {
+	if r.micro {
+		return 0
+	}
+	switch r.kind {
+	case reqTAS, reqNone, reqBlock:
+		return 0
+	case reqCompute:
+		return r.n
+	default:
+		return 1
+	}
+}
+
+// pickReplay returns the next thread to run under the log's epoch schedule.
+//
+// Epoch semantics: entry k says "thread T committed Instr instructions at
+// logical time Time". Sub-instruction micro-operations (a test-and-set's
+// accesses) execute at the *start* of the epoch that follows the clock
+// change they caused — so each fresh epoch first drains its thread's
+// pending zero-width requests, then runs committed instructions up to the
+// quota, then advances. A quota-complete epoch advances without draining:
+// trailing micro-ops belong to the thread's next epoch, which is where the
+// recorded clock placed them.
+func (e *Engine) pickReplay() *threadCtx {
+	for e.epochIdx < len(e.epochs) {
+		ep := e.epochs[e.epochIdx]
+		t := e.threads[ep.Thread]
+		if t.state == stDone {
+			// Log promised more than the thread executed (possible only
+			// on log/program mismatch); consume the epoch.
+			e.advanceEpoch()
+			continue
+		}
+		if e.epochFresh {
+			if t.state == stReady && reqWidth(t.req) == 0 {
+				return t // drain micro-ops at epoch start
+			}
+			e.epochFresh = false
+		}
+		if e.epochRun >= ep.Instr {
+			e.advanceEpoch()
+			continue
+		}
+		if t.state == stReady {
+			return t
+		}
+		return nil // blocked mid-epoch: replayRecoverable decides
+	}
+	// All epochs consumed: let any remaining runnable thread finish.
+	for _, t := range e.threads {
+		if t.state == stReady {
+			return t
+		}
+	}
+	return nil
+}
+
+func (e *Engine) advanceEpoch() {
+	e.epochIdx++
+	e.epochRun = 0
+	e.epochFresh = true
+}
+
+// replayRecoverable handles a blocked designated thread by looking for a
+// concurrent (equal-time) epoch whose thread can run first; it reorders the
+// two epochs (requeueing the blocked epoch's remaining instruction quota)
+// and reports whether progress is possible. Conflicting accesses never share
+// a logical time, so this reordering is always legal.
+func (e *Engine) replayRecoverable() bool {
+	if e.epochIdx >= len(e.epochs) {
+		return false
+	}
+	cur := e.epochs[e.epochIdx]
+	for j := e.epochIdx + 1; j < len(e.epochs) && e.epochs[j].Time == cur.Time; j++ {
+		t := e.threads[e.epochs[j].Thread]
+		if t.state == stReady {
+			e.epochs[e.epochIdx].Instr -= e.epochRun
+			e.epochs[e.epochIdx], e.epochs[j] = e.epochs[j], e.epochs[e.epochIdx]
+			e.epochRun = 0
+			e.epochFresh = true
+			return true
+		}
+	}
+	return false
+}
+
+// process executes one parked request of thread t and returns the response
+// to resume it with.
+func (e *Engine) process(t *threadCtx) (response, error) {
+	req := t.req
+	switch req.kind {
+	case reqCompute:
+		cost := e.cfg.Cost.ComputeCost(t.proc, req.n)
+		e.advance(t, cost, req.n)
+		return response{}, nil
+
+	case reqRead:
+		v := e.mem.Load(req.addr)
+		width := uint64(1)
+		if req.micro {
+			width = 0
+		}
+		rep := e.deliver(t, req.addr, trace.Read, req.class, uint8(width))
+		e.advance(t, e.accessCost(t, rep), width)
+		if width > 0 {
+			// Only committed reads enter the behaviour fingerprint: the
+			// values seen by sub-instruction spin reads vary with the
+			// wakeup pattern without affecting program behaviour.
+			t.hash = (t.hash ^ (v + 0x9e37)) * fnvPrime
+			if e.cfg.TraceReads != nil {
+				e.cfg.TraceReads(t.id, req.addr, v)
+			}
+		}
+		return response{value: v}, nil
+
+	case reqWrite:
+		e.mem.Store(req.addr, req.value)
+		rep := e.deliver(t, req.addr, trace.Write, req.class, 1)
+		e.advance(t, e.accessCost(t, rep), 1)
+		e.wake(t, req.addr)
+		return response{}, nil
+
+	case reqTAS:
+		// Atomic test-and-set on a sync word: a sync read, plus a sync
+		// write when the word was clear. Sub-instruction micro-op: commits
+		// no instructions (Lock owns the accounting).
+		old := e.mem.Load(req.addr)
+		rep := e.deliver(t, req.addr, trace.Read, trace.Sync, 0)
+		cost := e.accessCost(t, rep)
+		if old == 0 {
+			e.mem.Store(req.addr, req.value)
+			rep = e.deliver(t, req.addr, trace.Write, trace.Sync, 0)
+			cost += e.accessCost(t, rep)
+			e.wake(t, req.addr)
+		}
+		e.advance(t, cost, 0)
+		return response{value: old}, nil
+
+	case reqBlock:
+		// Block requests are absorbed at event receipt (absorbBlock), so
+		// a parked one reaching process() is a scheduler bug.
+		return response{}, fmt.Errorf("sim: thread %d block request reached process", t.id)
+
+	case reqLockEnter:
+		skip := e.countSyncInstance(t)
+		if skip {
+			e.skipped[lockKey{t.id, req.addr}]++
+		}
+		e.maybeMigrate(t)
+		e.advance(t, 0, 1)
+		return response{skip: skip}, nil
+
+	case reqUnlockEnter:
+		k := lockKey{t.id, req.addr}
+		if e.skipped[k] > 0 {
+			e.skipped[k]--
+			e.advance(t, 0, 1)
+			return response{skip: true}, nil
+		}
+		e.advance(t, 0, 1)
+		return response{}, nil
+
+	case reqFlagWaitEnter:
+		skip := e.countSyncInstance(t)
+		e.maybeMigrate(t)
+		e.advance(t, 0, 1)
+		return response{skip: skip}, nil
+	}
+	return response{}, fmt.Errorf("sim: thread %d issued unknown request %d", t.id, req.kind)
+}
+
+// countSyncInstance advances the sync-instance counters for one lock-acquire
+// or flag-wait and decides whether this is the injected (removed) instance.
+func (e *Engine) countSyncInstance(t *threadCtx) bool {
+	e.syncN++
+	e.threadSyncN[t.id]++
+	var skip bool
+	if e.cfg.InjectThreadNth != 0 {
+		skip = t.id == e.cfg.InjectThread && e.threadSyncN[t.id] == e.cfg.InjectThreadNth
+	} else {
+		skip = e.syncN == e.cfg.InjectSkip
+	}
+	if skip {
+		e.injThread, e.injNth = t.id, e.threadSyncN[t.id]
+	}
+	return skip
+}
+
+// advance moves t's virtual time and instruction counter, applying jitter,
+// and charges replay epoch quota for committed instructions.
+func (e *Engine) advance(t *threadCtx, cost uint64, instrs uint64) {
+	if e.cfg.Jitter > 0 {
+		cost += e.rng.Uint64N(e.cfg.Jitter + 1)
+	}
+	t.vtime += cost
+	t.instr += instrs
+	e.ops += instrs
+	if e.replay && instrs > 0 && e.epochIdx < len(e.epochs) {
+		e.epochRun += uint32(instrs)
+	}
+}
+
+func (e *Engine) accessCost(t *threadCtx, rep trace.Report) uint64 {
+	return e.cfg.Cost.AccessCost(t.vtime, t.proc, e.lastAccess, rep)
+}
+
+// deliver builds the Access event and feeds it to every observer, returning
+// the primary observer's report (or the last one when no primary is set).
+func (e *Engine) deliver(t *threadCtx, addr memsys.Addr, kind trace.Kind, class trace.Class, instrs uint8) trace.Report {
+	a := trace.Access{
+		Seq:    e.seq,
+		Thread: t.id,
+		Proc:   t.proc,
+		Addr:   memsys.WordAlign(addr),
+		Kind:   kind,
+		Class:  class,
+		Instr:  t.instr,
+		Instrs: instrs,
+	}
+	e.seq++
+	e.lastAccess = a
+	var primary trace.Report
+	for i, o := range e.cfg.Observers {
+		rep := o.OnAccess(a)
+		if i == e.primIdx {
+			primary = rep
+		}
+	}
+	return primary
+}
+
+// absorbBlock processes a just-received block request immediately: the
+// thread's sleep decision is based on a read that no other thread could have
+// invalidated (the engine ran nothing between that read and this event), so
+// marking it blocked here closes the check-then-block window — a write
+// arriving later always finds the thread already in stBlocked and wakes it.
+func (e *Engine) absorbBlock(t *threadCtx) {
+	if t.req.kind != reqBlock {
+		return
+	}
+	t.state = stBlocked
+	t.block = memsys.WordAlign(t.req.addr)
+	t.req.kind = reqNone
+}
+
+// wake readies every thread blocked on addr; they resume no earlier than the
+// writer's current virtual time.
+func (e *Engine) wake(w *threadCtx, addr memsys.Addr) {
+	addr = memsys.WordAlign(addr)
+	for _, t := range e.threads {
+		if t.state == stBlocked && t.block == addr {
+			t.state = stReady
+			if t.vtime < w.vtime {
+				t.vtime = w.vtime
+			}
+		}
+	}
+}
+
+// DebugState renders each thread's scheduler state — used in hang reports.
+func (e *Engine) DebugState() string {
+	s := ""
+	for _, t := range e.threads {
+		s += fmt.Sprintf("T%d state=%d block=%s vtime=%d instr=%d reqKind=%d reqAddr=%s\n",
+			t.id, t.state, t.block, t.vtime, t.instr, t.req.kind, t.req.addr)
+	}
+	return s
+}
+
+// maybeMigrate exchanges t's processor with the thread currently occupying
+// the next one, on the configured cadence, and notifies the observers
+// (§2.7.4). Migration is modeled as a swap so that — as on a real machine —
+// no two threads ever run on one processor concurrently: both ends of the
+// exchange receive the migration clock bump that "synchronizes" them with
+// the timestamps the other thread left behind.
+func (e *Engine) maybeMigrate(t *threadCtx) {
+	if e.cfg.MigrateEvery == 0 || e.syncN%e.cfg.MigrateEvery != 0 {
+		return
+	}
+	target := (t.proc + 1) % e.cfg.Procs
+	var other *threadCtx
+	for _, u := range e.threads {
+		if u != t && u.proc == target {
+			other = u
+			break
+		}
+	}
+	if other != nil {
+		other.proc = t.proc
+	}
+	t.proc = target
+	for _, o := range e.cfg.Observers {
+		o.Migrate(t.id, t.proc, t.instr)
+		if other != nil {
+			o.Migrate(other.id, other.proc, other.instr)
+		}
+	}
+}

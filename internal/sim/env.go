@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"errors"
+
+	"cord/internal/memsys"
+	"cord/internal/trace"
+)
+
+// errAborted is panicked inside a workload goroutine when the engine tears
+// the run down early; the goroutine's recover turns it into a clean exit.
+var errAborted = errors.New("sim: run aborted")
+
+// Env is a thread's handle to the simulated machine. All methods may only be
+// called from within the Program.Body invocation that received the Env, and
+// each call is one scheduling point: the engine serializes every call into
+// the global execution order.
+//
+// Instruction accounting (which drives the order log and replay): Read,
+// Write and each Lock/Unlock/FlagWait/FlagSet call commit one instruction;
+// Compute(n) commits n; TAS and the internal spin reads commit none (they
+// are sub-instruction micro-operations of the blocking primitives).
+type Env struct {
+	t *threadCtx
+}
+
+// ThreadID returns the identity of the calling thread.
+func (e *Env) ThreadID() int { return e.t.id }
+
+// Proc returns the processor the thread currently runs on.
+func (e *Env) Proc() int { return e.t.proc }
+
+func (e *Env) do(r request) response {
+	t := e.t
+	t.req = r
+	t.eng.events <- threadEvent{t: t}
+	resp := <-t.resume
+	if resp.abort {
+		panic(errAborted)
+	}
+	return resp
+}
+
+// Read performs a data read of the word at a and returns its value.
+func (e *Env) Read(a memsys.Addr) uint64 {
+	return e.do(request{kind: reqRead, addr: a, class: trace.Data}).value
+}
+
+// Write performs a data write of v to the word at a.
+func (e *Env) Write(a memsys.Addr, v uint64) {
+	e.do(request{kind: reqWrite, addr: a, value: v, class: trace.Data})
+}
+
+// SyncRead performs a labeled synchronization read (§2.7.3).
+func (e *Env) SyncRead(a memsys.Addr) uint64 {
+	return e.do(request{kind: reqRead, addr: a, class: trace.Sync}).value
+}
+
+// SyncWrite performs a labeled synchronization write.
+func (e *Env) SyncWrite(a memsys.Addr, v uint64) {
+	e.do(request{kind: reqWrite, addr: a, value: v, class: trace.Sync})
+}
+
+// TAS atomically reads the sync word at a and, if it was zero, writes v.
+// It returns the old value (zero means the TAS acquired the word). It is the
+// micro-operation the Lock primitive is built from.
+func (e *Env) TAS(a memsys.Addr, v uint64) uint64 {
+	return e.do(request{kind: reqTAS, addr: a, value: v}).value
+}
+
+// Compute models n cycles of thread-local computation (n instructions).
+func (e *Env) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	e.do(request{kind: reqCompute, n: uint64(n)})
+}
+
+// blockOn parks the thread until another thread writes the word at a.
+func (e *Env) blockOn(a memsys.Addr) {
+	e.do(request{kind: reqBlock, addr: a})
+}
+
+// Lock acquires the mutex at word l (a test-and-set spinlock built from
+// labeled sync accesses). Each call is one countable dynamic synchronization
+// instance for fault injection: when this instance is the injected one, the
+// acquire and its matching release are silently removed (§3.4).
+func (e *Env) Lock(l memsys.Addr) {
+	resp := e.do(request{kind: reqLockEnter, addr: l})
+	if resp.skip {
+		return
+	}
+	for e.TAS(l, 1) != 0 {
+		e.blockOn(l)
+	}
+}
+
+// Unlock releases the mutex at word l. If the matching Lock was removed by
+// injection, the release is removed too.
+func (e *Env) Unlock(l memsys.Addr) {
+	resp := e.do(request{kind: reqUnlockEnter, addr: l})
+	if resp.skip {
+		return
+	}
+	e.SyncWrite(l, 0)
+}
+
+// FlagSet publishes value v to the flag (condition) word at f. Only waits
+// are injectable, so FlagSet is an ordinary labeled sync write.
+func (e *Env) FlagSet(f memsys.Addr, v uint64) {
+	e.SyncWrite(f, v)
+}
+
+// FlagWaitAtLeast blocks until the flag word at f holds a value >= v. Each
+// call is one countable synchronization instance: the injected instance
+// returns immediately without waiting (§3.4). The spin reads are
+// sub-instruction micro-operations — the whole wait commits exactly one
+// instruction (its enter), so replayed executions need not reproduce the
+// wakeup pattern.
+func (e *Env) FlagWaitAtLeast(f memsys.Addr, v uint64) {
+	resp := e.do(request{kind: reqFlagWaitEnter, addr: f})
+	if resp.skip {
+		return
+	}
+	for e.do(request{kind: reqRead, addr: f, class: trace.Sync, micro: true}).value < v {
+		e.blockOn(f)
+	}
+}

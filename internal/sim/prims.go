@@ -1,0 +1,73 @@
+package sim
+
+import "cord/internal/memsys"
+
+// Barrier is a sense-style barrier built exactly the way the paper describes
+// Splash-2 barriers (§3.4): a mutex-protected arrival count plus a
+// generation flag that waiters spin on. Every dynamic invocation of the
+// internal mutex acquire and of the internal flag wait is a separately
+// countable (and hence separately injectable) synchronization instance,
+// which is what makes barrier-removal injections hard to detect — only one
+// thread's one primitive is removed, not the whole barrier.
+type Barrier struct {
+	n     int
+	mu    memsys.Addr // internal mutex word
+	count memsys.Addr // arrival count (data, protected by mu)
+	gen   memsys.Addr // generation flag (sync)
+}
+
+// NewBarrier allocates a barrier for n threads. Each word sits on its own
+// cache line so barrier metadata does not false-share with workload data.
+func NewBarrier(al *memsys.Allocator, n int) *Barrier {
+	p := al.AllocPadded(3)
+	return &Barrier{n: n, mu: p.Word(0), count: p.Word(1), gen: p.Word(2)}
+}
+
+// Wait blocks until all n threads have arrived.
+func (b *Barrier) Wait(env *Env) {
+	env.Lock(b.mu)
+	c := env.Read(b.count) + 1
+	env.Write(b.count, c)
+	if int(c) >= b.n {
+		env.Write(b.count, 0)
+		g := env.SyncRead(b.gen)
+		env.FlagSet(b.gen, g+1)
+		env.Unlock(b.mu)
+		return
+	}
+	g := env.SyncRead(b.gen)
+	env.Unlock(b.mu)
+	env.FlagWaitAtLeast(b.gen, g+1)
+}
+
+// Mutex is a convenience wrapper around a lock word.
+type Mutex struct {
+	Addr memsys.Addr
+}
+
+// NewMutex allocates a mutex on its own cache line.
+func NewMutex(al *memsys.Allocator) Mutex {
+	return Mutex{Addr: al.AllocPadded(1).Word(0)}
+}
+
+// Lock acquires the mutex.
+func (m Mutex) Lock(env *Env) { env.Lock(m.Addr) }
+
+// Unlock releases the mutex.
+func (m Mutex) Unlock(env *Env) { env.Unlock(m.Addr) }
+
+// Flag is a one-word condition variable.
+type Flag struct {
+	Addr memsys.Addr
+}
+
+// NewFlag allocates a flag on its own cache line.
+func NewFlag(al *memsys.Allocator) Flag {
+	return Flag{Addr: al.AllocPadded(1).Word(0)}
+}
+
+// Set publishes v.
+func (f Flag) Set(env *Env, v uint64) { env.FlagSet(f.Addr, v) }
+
+// WaitAtLeast blocks until the flag holds at least v.
+func (f Flag) WaitAtLeast(env *Env, v uint64) { env.FlagWaitAtLeast(f.Addr, v) }

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cord/internal/memsys"
+)
+
+func TestConflicts(t *testing.T) {
+	w0 := Access{Thread: 0, Addr: 0x40, Kind: Write}
+	r1 := Access{Thread: 1, Addr: 0x40, Kind: Read}
+	r1b := Access{Thread: 1, Addr: 0x44, Kind: Read}
+	w0b := Access{Thread: 0, Addr: 0x40, Kind: Write}
+	cases := []struct {
+		a, b Access
+		want bool
+	}{
+		{w0, r1, true},   // write-read, same word
+		{r1, w0, true},   // symmetric
+		{w0, w0b, false}, // same thread
+		{w0, r1b, false}, // different word
+		{Access{Thread: 0, Addr: 8, Kind: Read}, Access{Thread: 1, Addr: 8, Kind: Read}, false}, // read-read
+	}
+	for i, c := range cases {
+		if got := Conflicts(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Conflicts = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	a := Access{Seq: 5, Thread: 2, Addr: memsys.Addr(0x80), Kind: Write, Class: Sync}
+	s := a.String()
+	for _, want := range []string{"T2", "WR", "sync", "0x80", "#5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Access string %q missing %q", s, want)
+		}
+	}
+	r := Race{Addr: 0x40, First: Ref{Thread: 0, Kind: Write}, Second: Ref{Thread: 1, Kind: Read}}
+	rs := r.String()
+	if !strings.Contains(rs, "T0 WR") || !strings.Contains(rs, "T1 RD") {
+		t.Errorf("Race string %q", rs)
+	}
+	if Read.String() != "RD" || Write.String() != "WR" || Data.String() != "data" || Sync.String() != "sync" {
+		t.Error("enum names wrong")
+	}
+}
+
+func TestFuncObserver(t *testing.T) {
+	n := 0
+	f := &FuncObserver{Label: "tap", Fn: func(Access) { n++ }}
+	if f.Name() != "tap" {
+		t.Fatal("name")
+	}
+	f.OnAccess(Access{})
+	f.OnAccess(Access{})
+	f.Migrate(0, 1, 0)
+	f.ThreadDone(0, 0)
+	f.Finish()
+	if n != 2 {
+		t.Fatalf("Fn called %d times", n)
+	}
+	// Nil Fn must be safe.
+	empty := &FuncObserver{}
+	empty.OnAccess(Access{})
+}

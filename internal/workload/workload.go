@@ -1,0 +1,107 @@
+// Package workload provides the twelve synthetic parallel applications the
+// experiments run — one per Splash-2 program in the paper's Table 1. Each
+// mimics its namesake's sharing structure and synchronization idiom (the
+// properties detection rates depend on) at a scale the simulator sweeps
+// quickly:
+//
+//	barnes     tree building under fine-grain node locks, moderately
+//	           separated conflicts (the app that keeps improving past D=16)
+//	cholesky   task queue with very frequent tiny critical sections (the
+//	           worst-case address/timestamp-bus contention of Fig. 11)
+//	fft        barrier-phased all-to-all transpose
+//	fmm        mostly-redundant per-cell locking (injections rarely manifest)
+//	lu         pivot-block producer/consumer over barriers
+//	ocean      red-black grid sweeps, neighbor-edge sharing over barriers
+//	radiosity  work-stealing task deques plus per-patch locks
+//	radix      private histograms, prefix-sum, permute over barriers
+//	raytrace   tile queue, read-only scene, disjoint framebuffer writes
+//	volrend    tile queue plus a lock-protected shared histogram
+//	water-n2   O(n²) cross-thread accumulator updates under per-molecule
+//	           locks with constant lock churn (scalar clocks miss everything)
+//	water-sp   the spatial variant: neighbor-only updates, shorter distances
+package workload
+
+import (
+	"fmt"
+
+	"cord/internal/memsys"
+	"cord/internal/sim"
+)
+
+// App is one benchmark application.
+type App struct {
+	// Name matches the Splash-2 program (Table 1).
+	Name string
+	// Input is the Table 1 input-set label the synthetic scale mimics.
+	Input string
+	// Build constructs a runnable program. scale >= 1 grows the problem
+	// size; tests use scale 1, the experiment harness a few steps more.
+	Build func(scale, threads int) sim.Program
+}
+
+// All returns the twelve applications in Table 1 order.
+func All() []App {
+	return []App{
+		{Name: "barnes", Input: "n2048", Build: Barnes},
+		{Name: "cholesky", Input: "tk23.0", Build: Cholesky},
+		{Name: "fft", Input: "m16", Build: FFT},
+		{Name: "fmm", Input: "2048", Build: FMM},
+		{Name: "lu", Input: "512x512", Build: LU},
+		{Name: "ocean", Input: "130x130", Build: Ocean},
+		{Name: "radiosity", Input: "-test", Build: Radiosity},
+		{Name: "radix", Input: "256K keys", Build: Radix},
+		{Name: "raytrace", Input: "teapot", Build: Raytrace},
+		{Name: "volrend", Input: "head-sd2", Build: Volrend},
+		{Name: "water-n2", Input: "216", Build: WaterN2},
+		{Name: "water-sp", Input: "216", Build: WaterSP},
+	}
+}
+
+// ByName returns the named application.
+func ByName(name string) (App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// lcg is a tiny deterministic generator for per-thread access patterns.
+// Workload bodies must be deterministic given the values they read from
+// simulated memory, so they never use math/rand.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2654435761 + 1} }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 11
+}
+
+// n returns a value in [0, m).
+func (r *lcg) n(m int) int {
+	if m <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(m))
+}
+
+// touch performs a read-modify-write of count consecutive words starting at
+// region word i — the inner loop of most critical sections.
+func touch(env *sim.Env, reg memsys.Region, i, count int) {
+	for k := 0; k < count; k++ {
+		w := reg.Word((i + k) % reg.Words)
+		env.Write(w, env.Read(w)+1)
+	}
+}
+
+// scan reads count consecutive words and folds them, modeling read-mostly
+// traversals.
+func scan(env *sim.Env, reg memsys.Region, i, count int) uint64 {
+	var acc uint64
+	for k := 0; k < count; k++ {
+		acc += env.Read(reg.Word((i + k) % reg.Words))
+	}
+	return acc
+}
