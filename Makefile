@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the tier-1 gate every change must
+# pass: formatting, vet, a full build, and the test suite.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench figures clean
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment campaign runner fans runs across goroutines; keep it
+# race-clean. Requires cgo (CGO_ENABLED=1) on most platforms.
+race:
+	$(GO) test -race ./internal/experiment/...
+
+# Campaign scaling benchmark: compare procs=1 vs procs=4 lines.
+bench:
+	$(GO) test -bench 'Campaign' -benchtime 3x -run '^$$' ./internal/experiment/
+
+# Regenerate the paper's full evaluation (see EXPERIMENTS.md).
+figures:
+	$(GO) run ./cmd/cordbench -all -injections 80 | tee results.txt
+
+clean:
+	$(GO) clean ./...

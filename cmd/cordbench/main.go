@@ -4,10 +4,15 @@
 // with -all. The detection figures (10, 12–17) share one injection campaign,
 // so requesting any of them runs it once.
 //
+// Campaigns are lists of independent seed-deterministic simulations, so
+// they fan out across -procs host workers (default: all CPUs). Output is
+// byte-identical at any -procs value for the same -seed; only wall-clock
+// time changes.
+//
 // Usage:
 //
 //	cordbench -all -injections 60
-//	cordbench -fig12 -fig16
+//	cordbench -fig12 -fig16 -procs 8
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 		scale      = flag.Int("scale", 1, "workload scale for detection figures")
 		ovScale    = flag.Int("overhead-scale", 4, "workload scale for Fig 11")
 		seed       = flag.Uint64("seed", 0xC0DD, "campaign base seed")
+		procs      = flag.Int("procs", 0, "host worker goroutines for campaign runs (0 = all CPUs); does not affect results")
 		quiet      = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
@@ -52,7 +58,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiment.Options{Scale: *scale, Injections: *injections, BaseSeed: *seed}
+	opts := experiment.Options{Scale: *scale, Injections: *injections, BaseSeed: *seed, Procs: *procs}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}

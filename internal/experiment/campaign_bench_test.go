@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDetectionCampaign runs a small injection campaign at several
+// worker counts. On a multi-core host the procs=4 case should approach a 4×
+// speedup over procs=1, because the campaign is a flat list of independent
+// seed-deterministic simulations with only index-ordered aggregation at the
+// end. Compare:
+//
+//	go test -bench 'DetectionCampaign' -benchtime 3x ./internal/experiment/
+func BenchmarkDetectionCampaign(b *testing.B) {
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			o := smallOpts()
+			o.Injections = 8
+			o.Procs = procs
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := RunDetection(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Apps) != len(o.Apps) {
+					b.Fatal("short campaign")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOverheadCampaign is the Figure 11 analogue: (apps × seeds) pairs
+// of baseline+CORD timing runs fanned across the pool.
+func BenchmarkOverheadCampaign(b *testing.B) {
+	for _, procs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			o := smallOpts()
+			o.Procs = procs
+			for i := 0; i < b.N; i++ {
+				if _, _, err := RunOverhead(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -25,8 +25,15 @@ type Options struct {
 	BaseSeed uint64
 	// Apps selects the applications (default: all of Table 1).
 	Apps []workload.App
-	// Progress, when non-nil, receives one line per completed app.
+	// Progress, when non-nil, receives one line per completed app. The
+	// writer is wrapped so concurrent workers never interleave mid-line.
 	Progress io.Writer
+	// Procs is the number of host worker goroutines the campaign fans its
+	// independent simulation runs across (default runtime.NumCPU()). It has
+	// no effect on results: seeds, not execution order, define every run,
+	// and aggregation happens in deterministic index order. Not to be
+	// confused with Threads, the count of simulated processors.
+	Procs int
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +52,10 @@ func (o Options) withDefaults() Options {
 	if o.Apps == nil {
 		o.Apps = workload.All()
 	}
+	if o.Procs <= 0 {
+		o.Procs = defaultProcs()
+	}
+	o.Progress = newSyncWriter(o.Progress)
 	return o
 }
 
@@ -85,28 +96,43 @@ type DetectionResults struct {
 	Configs []string
 }
 
+// injectionOutcome is one fault-injection run's contribution to its
+// application's aggregate. Runs record into their own outcome value (keyed
+// by run index) so the campaign can execute them in any order and on any
+// number of workers without changing the aggregate.
+type injectionOutcome struct {
+	landed     bool // the injection target existed in this run
+	hung       bool
+	manifested bool
+	problems   map[string]bool
+	races      map[string]int
+	falsePos   int
+}
+
 // RunDetection executes the §3.4 methodology: for each application, inject
 // one randomly chosen dynamic synchronization removal per run, observe the
 // same execution with every detector configuration, and aggregate detection
-// outcomes.
+// outcomes. The campaign's (apps × injections) runs are independent and fan
+// out across o.Procs workers; results are identical at any worker count
+// because every run's seed and target derive only from (BaseSeed, app
+// index, injection index) and aggregation walks runs in index order.
 func RunDetection(o Options) (*DetectionResults, error) {
 	o = o.withDefaults()
 	res := &DetectionResults{Configs: Configs()}
-	for appIdx, app := range o.Apps {
-		agg := AppDetection{
-			App:      app.Name,
-			Problems: map[string]int{},
-			Races:    map[string]int{},
-		}
-		// Count the app's dynamic sync instances once, to draw targets.
-		count, err := sim.New(sim.Config{
-			Seed: o.BaseSeed, Jitter: 7,
-		}, app.Build(o.Scale, o.Threads)).Run()
+
+	// Phase 1: size every application with one plain run and draw its
+	// injection targets. Targets come from a per-app PCG stream consumed in
+	// injection order — the same stream and order as a serial campaign —
+	// which is what keeps parallel campaigns bit-identical.
+	targets := make([][]uint64, len(o.Apps))
+	if err := forEach(o.Procs, len(o.Apps), func(appIdx int) error {
+		app := o.Apps[appIdx]
+		count, err := o.runSim("counting", app, o.Threads, sim.Config{Seed: o.BaseSeed})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: counting %s: %w", app.Name, err)
+			return err
 		}
 		if count.SyncInstances == 0 {
-			return nil, fmt.Errorf("experiment: %s has no injectable synchronization", app.Name)
+			return fmt.Errorf("experiment: %s has no injectable synchronization", app.Name)
 		}
 		rng := rand.New(rand.NewPCG(o.BaseSeed^uint64(appIdx*7919+1), 0xD1CE))
 		// Stay below the observed count so the target exists in runs whose
@@ -115,59 +141,60 @@ func RunDetection(o Options) (*DetectionResults, error) {
 		if maxTarget == 0 {
 			maxTarget = 1
 		}
+		ts := make([]uint64, o.Injections)
+		for i := range ts {
+			ts[i] = 1 + rng.Uint64N(maxTarget)
+		}
+		targets[appIdx] = ts
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
-		for i := 0; i < o.Injections; i++ {
-			seed := o.BaseSeed + uint64(appIdx)*1_000_003 + uint64(i)*97
-			target := 1 + rng.Uint64N(maxTarget)
+	// Phase 2: the flat injection-run list, each run one independent
+	// simulation writing into its own index-keyed outcome cell.
+	outcomes := make([][]injectionOutcome, len(o.Apps))
+	for appIdx := range o.Apps {
+		outcomes[appIdx] = make([]injectionOutcome, o.Injections)
+	}
+	if err := forEach(o.Procs, len(o.Apps)*o.Injections, func(k int) error {
+		appIdx, i := k/o.Injections, k%o.Injections
+		out, err := o.runInjection(appIdx, i, targets[appIdx][i])
+		if err != nil {
+			return err
+		}
+		outcomes[appIdx][i] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
-			ideal := baseline.NewIdeal(o.Threads)
-			vecInf := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundInf})
-			vecL2 := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundL2})
-			vecL1 := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundL1})
-			cords := map[string]*core.Detector{
-				cfgD1:   core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 1}),
-				cfgD4:   core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 4}),
-				cfgD16:  core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16}),
-				cfgD256: core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 256}),
-			}
-			obs := []trace.Observer{ideal, vecInf, vecL2, vecL1,
-				cords[cfgD1], cords[cfgD4], cords[cfgD16], cords[cfgD256]}
-
-			run, err := sim.New(sim.Config{
-				Seed: seed, Jitter: 7, InjectSkip: target, Observers: obs,
-			}, app.Build(o.Scale, o.Threads)).Run()
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s injection %d: %w", app.Name, i, err)
-			}
-			if run.InjectedThread < 0 {
+	// Phase 3: aggregate in (app, injection) index order.
+	for appIdx, app := range o.Apps {
+		agg := AppDetection{
+			App:      app.Name,
+			Problems: map[string]int{},
+			Races:    map[string]int{},
+		}
+		for _, out := range outcomes[appIdx] {
+			if !out.landed {
 				continue // target beyond this run's instance count
 			}
-			if run.Hung {
+			if out.hung {
 				agg.Hung++
 				continue
 			}
 			agg.Injected++
-			if ideal.ProblemDetected() {
+			if out.manifested {
 				agg.Manifested++
 			}
-			record := func(name string, problem bool, races int) {
-				if problem {
-					agg.Problems[name]++
+			for _, cfg := range res.Configs {
+				if out.problems[cfg] {
+					agg.Problems[cfg]++
 				}
-				agg.Races[name] += races
+				agg.Races[cfg] += out.races[cfg]
 			}
-			record(cfgIdeal, ideal.ProblemDetected(), ideal.RaceCount())
-			record(cfgVecInf, vecInf.ProblemDetected(), vecInf.RaceCount())
-			record(cfgVecL2, vecL2.ProblemDetected(), vecL2.RaceCount())
-			record(cfgVecL1, vecL1.ProblemDetected(), vecL1.RaceCount())
-			for name, d := range cords {
-				record(name, d.ProblemDetected(), d.RaceCount())
-				for _, r := range d.Races() {
-					if !ideal.Confirms(r) {
-						agg.FalsePositives++
-					}
-				}
-			}
+			agg.FalsePositives += out.falsePos
 		}
 		res.Apps = append(res.Apps, agg)
 		if o.Progress != nil {
@@ -177,6 +204,63 @@ func RunDetection(o Options) (*DetectionResults, error) {
 		}
 	}
 	return res, nil
+}
+
+// runInjection performs one fault-injection simulation: remove the target-th
+// dynamic sync instance and observe the execution with every detector
+// configuration at once.
+func (o Options) runInjection(appIdx, i int, target uint64) (injectionOutcome, error) {
+	app := o.Apps[appIdx]
+	seed := o.BaseSeed + uint64(appIdx)*1_000_003 + uint64(i)*97
+
+	ideal := baseline.NewIdeal(o.Threads)
+	vecInf := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundInf})
+	vecL2 := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundL2})
+	vecL1 := baseline.NewVecCache(baseline.VecConfig{Threads: o.Threads, Procs: o.Threads, Bound: baseline.BoundL1})
+	cords := map[string]*core.Detector{
+		cfgD1:   core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 1}),
+		cfgD4:   core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 4}),
+		cfgD16:  core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16}),
+		cfgD256: core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 256}),
+	}
+	obs := []trace.Observer{ideal, vecInf, vecL2, vecL1,
+		cords[cfgD1], cords[cfgD4], cords[cfgD16], cords[cfgD256]}
+
+	run, err := o.runSim(fmt.Sprintf("injecting %d into", i), app, o.Threads, sim.Config{
+		Seed: seed, InjectSkip: target, Observers: obs,
+	})
+	if err != nil {
+		return injectionOutcome{}, err
+	}
+	if run.InjectedThread < 0 {
+		return injectionOutcome{}, nil
+	}
+	if run.Hung {
+		return injectionOutcome{landed: true, hung: true}, nil
+	}
+	out := injectionOutcome{
+		landed:     true,
+		manifested: ideal.ProblemDetected(),
+		problems:   map[string]bool{},
+		races:      map[string]int{},
+	}
+	record := func(name string, problem bool, races int) {
+		out.problems[name] = problem
+		out.races[name] = races
+	}
+	record(cfgIdeal, ideal.ProblemDetected(), ideal.RaceCount())
+	record(cfgVecInf, vecInf.ProblemDetected(), vecInf.RaceCount())
+	record(cfgVecL2, vecL2.ProblemDetected(), vecL2.RaceCount())
+	record(cfgVecL1, vecL1.ProblemDetected(), vecL1.RaceCount())
+	for name, d := range cords {
+		record(name, d.ProblemDetected(), d.RaceCount())
+		for _, r := range d.Races() {
+			if !ideal.Confirms(r) {
+				out.falsePos++
+			}
+		}
+	}
+	return out, nil
 }
 
 // figure builds a per-app figure where each column is numerator[config] /

@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"cord/internal/workload"
+)
+
+// twoAppOpts is the ISSUE's determinism fixture: a small two-app campaign.
+func twoAppOpts(procs int) Options {
+	apps := []workload.App{}
+	for _, name := range []string{"raytrace", "lu"} {
+		a, _ := workload.ByName(name)
+		apps = append(apps, a)
+	}
+	return Options{Injections: 4, Apps: apps, BaseSeed: 77, Procs: procs}
+}
+
+// renderAll renders every detection figure into one byte stream.
+func renderAll(t *testing.T, res *DetectionResults) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, f := range []Figure{
+		res.Fig10(), res.Fig12(), res.Fig13(), res.Fig14(), res.Fig15(), res.Fig16(), res.Fig17(),
+	} {
+		if err := f.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestParallelCampaignBitIdentical: the same campaign produces byte-identical
+// aggregates, figures, and progress output at Procs: 1 and Procs: 4 — the
+// worker pool must not leak scheduling into results.
+func TestParallelCampaignBitIdentical(t *testing.T) {
+	run := func(procs int) (*DetectionResults, string, string) {
+		o := twoAppOpts(procs)
+		var progress bytes.Buffer
+		o.Progress = &progress
+		res, err := RunDetection(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, renderAll(t, res), progress.String()
+	}
+	serial, serialFigs, serialProg := run(1)
+	par, parFigs, parProg := run(4)
+
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("AppDetection aggregates differ between Procs=1 and Procs=4:\n%+v\nvs\n%+v", serial, par)
+	}
+	if serialFigs != parFigs {
+		t.Fatalf("figure output differs between Procs=1 and Procs=4:\n%s\nvs\n%s", serialFigs, parFigs)
+	}
+	if serialProg != parProg {
+		t.Fatalf("progress output differs between Procs=1 and Procs=4:\n%s\nvs\n%s", serialProg, parProg)
+	}
+}
+
+// TestParallelTablesBitIdentical covers the remaining campaign entry points:
+// Table 1 sizing, overhead, replay verification, and the directory extension
+// must all be worker-count independent.
+func TestParallelTablesBitIdentical(t *testing.T) {
+	s, p := twoAppOpts(1), twoAppOpts(4)
+
+	t1s, err := RunTable1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1p, err := RunTable1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mem images are not part of the row; rows must match exactly.
+	if !reflect.DeepEqual(t1s, t1p) {
+		t.Fatalf("Table1 rows differ:\n%+v\nvs\n%+v", t1s, t1p)
+	}
+
+	ovS, figS, err := RunOverhead(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovP, figP, err := RunOverhead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ovS, ovP) || !reflect.DeepEqual(figS, figP) {
+		t.Fatalf("overhead rows differ:\n%+v\nvs\n%+v", ovS, ovP)
+	}
+
+	rpS, err := RunReplayCheck(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpP, err := RunReplayCheck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rpS, rpP) {
+		t.Fatalf("replay rows differ:\n%+v\nvs\n%+v", rpS, rpP)
+	}
+
+	dirS, err := RunDirectory(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirP, err := RunDirectory(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dirS, dirP) {
+		t.Fatalf("directory rows differ:\n%+v\nvs\n%+v", dirS, dirP)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, procs := range []int{1, 4, 100} {
+		var sum atomic.Int64
+		got := make([]int, 50)
+		if err := forEach(procs, len(got), func(i int) error {
+			got[i] = i * i
+			sum.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum.Load() != 50 {
+			t.Fatalf("procs=%d: ran %d of 50", procs, sum.Load())
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("procs=%d: slot %d = %d", procs, i, v)
+			}
+		}
+	}
+	// n = 0 is a no-op.
+	if err := forEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	for _, procs := range []int{1, 4} {
+		var ran atomic.Int64
+		err := forEach(procs, 1000, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("procs=%d: err = %v", procs, err)
+		}
+		// Cancellation is prompt: nowhere near the full list runs.
+		if ran.Load() > 100 {
+			t.Fatalf("procs=%d: %d calls ran after error", procs, ran.Load())
+		}
+	}
+}
+
+func TestSyncWriter(t *testing.T) {
+	if newSyncWriter(nil) != nil {
+		t.Fatal("nil writer must stay nil")
+	}
+	var buf bytes.Buffer
+	w := newSyncWriter(&buf)
+	if newSyncWriter(w) != w {
+		t.Fatal("double wrap")
+	}
+	if _, err := w.Write([]byte("line\n")); err != nil || buf.String() != "line\n" {
+		t.Fatalf("write: %v %q", err, buf.String())
+	}
+}

@@ -28,33 +28,38 @@ type DirectoryRow struct {
 	RacesMatch bool
 }
 
-// RunDirectory measures the extension at the given processor count.
+// RunDirectory measures the extension at the given processor count (procs
+// here is the count of simulated processors, unlike Options.Procs, the host
+// worker count the per-app runs fan out across).
 func RunDirectory(o Options, procs int) ([]DirectoryRow, error) {
 	o = o.withDefaults()
 	if procs <= 0 {
 		procs = 16
 	}
-	var rows []DirectoryRow
-	for _, app := range o.Apps {
+	rows := make([]DirectoryRow, len(o.Apps))
+	if err := forEach(o.Procs, len(o.Apps), func(i int) error {
+		app := o.Apps[i]
 		dir := directory.New(procs)
 		dird := core.New(core.Config{Threads: procs, Procs: procs, D: 16, Directory: dir})
 		snoop := core.New(core.Config{Threads: procs, Procs: procs, D: 16})
-		_, err := sim.New(sim.Config{
-			Seed: o.BaseSeed, Jitter: 7, Procs: procs,
+		if _, err := o.runSim("directory run", app, procs, sim.Config{
+			Seed: o.BaseSeed, Procs: procs,
 			Observers: []trace.Observer{snoop, dird},
-		}, app.Build(o.Scale, procs)).Run()
-		if err != nil {
-			return nil, fmt.Errorf("experiment: directory run %s: %w", app.Name, err)
+		}); err != nil {
+			return err
 		}
 		st := dir.Stats()
-		rows = append(rows, DirectoryRow{
+		rows[i] = DirectoryRow{
 			App:           app.Name,
 			Requests:      st.Requests,
 			Forwards:      st.Forwards,
 			SnoopMessages: st.Requests * uint64(procs-1),
 			MemTsMessages: st.MemTsMessages,
 			RacesMatch:    snoop.RaceCount() == dird.RaceCount(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -33,7 +33,6 @@ type OverheadRow struct {
 func RunOverhead(o Options) ([]OverheadRow, Figure, error) {
 	o = o.withDefaults()
 	const seeds = 5
-	var rows []OverheadRow
 	fig := Figure{
 		ID:      "fig11",
 		Title:   "Execution time with CORD relative to baseline (no recording, no DRD)",
@@ -43,34 +42,60 @@ func RunOverhead(o Options) ([]OverheadRow, Figure, error) {
 			fmt.Sprintf("each cell is the cycle ratio summed over %d seeds", seeds),
 		},
 	}
+
+	// Each (app, seed) pair is one independent baseline+CORD measurement;
+	// the flat pair list fans out across o.Procs workers and aggregates in
+	// index order, keeping per-row sums identical at any worker count.
+	type measurement struct {
+		baseCycles, cordCycles uint64
+		checks, memTs          uint64
+		logBytes               int
+	}
+	ms := make([]measurement, len(o.Apps)*seeds)
+	if err := forEach(o.Procs, len(ms), func(k int) error {
+		app, sd := o.Apps[k/seeds], uint64(k%seeds)
+		seed := o.BaseSeed + 31*sd
+		base, err := o.runSim("baseline for", app, o.Threads, sim.Config{
+			Seed: seed, Jitter: 2,
+			Cost: machine.New(machine.DefaultConfig()),
+		})
+		if err != nil {
+			return err
+		}
+		det := core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16, Record: true})
+		cordRun, err := o.runSim("CORD run for", app, o.Threads, sim.Config{
+			Seed: seed, Jitter: 2,
+			Cost:      machine.New(machine.DefaultConfig()),
+			Observers: []trace.Observer{det},
+			Primary:   det,
+		})
+		if err != nil {
+			return err
+		}
+		st := det.Stats()
+		ms[k] = measurement{
+			baseCycles: base.Cycles,
+			cordCycles: cordRun.Cycles,
+			checks:     st.CheckRequests,
+			memTs:      st.MemTsBroadcasts,
+			logBytes:   det.Log().SizeBytes(),
+		}
+		return nil
+	}); err != nil {
+		return nil, Figure{}, err
+	}
+
+	var rows []OverheadRow
 	var sumBase, sumCord uint64
-	for _, app := range o.Apps {
+	for appIdx, app := range o.Apps {
 		row := OverheadRow{App: app.Name}
-		for sd := uint64(0); sd < seeds; sd++ {
-			seed := o.BaseSeed + 31*sd
-			base, err := sim.New(sim.Config{
-				Seed: seed, Jitter: 2,
-				Cost: machine.New(machine.DefaultConfig()),
-			}, app.Build(o.Scale, o.Threads)).Run()
-			if err != nil {
-				return nil, Figure{}, fmt.Errorf("experiment: %s baseline: %w", app.Name, err)
-			}
-			det := core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16, Record: true})
-			cordRun, err := sim.New(sim.Config{
-				Seed: seed, Jitter: 2,
-				Cost:      machine.New(machine.DefaultConfig()),
-				Observers: []trace.Observer{det},
-				Primary:   det,
-			}, app.Build(o.Scale, o.Threads)).Run()
-			if err != nil {
-				return nil, Figure{}, fmt.Errorf("experiment: %s with CORD: %w", app.Name, err)
-			}
-			st := det.Stats()
-			row.BaselineCycles += base.Cycles
-			row.CordCycles += cordRun.Cycles
-			row.CheckRequests += st.CheckRequests
-			row.MemTsBroadcasts += st.MemTsBroadcasts
-			row.LogBytes += det.Log().SizeBytes()
+		for sd := 0; sd < seeds; sd++ {
+			m := ms[appIdx*seeds+sd]
+			row.BaselineCycles += m.baseCycles
+			row.CordCycles += m.cordCycles
+			row.CheckRequests += m.checks
+			row.MemTsBroadcasts += m.memTs
+			row.LogBytes += m.logBytes
 		}
 		row.Relative = float64(row.CordCycles) / float64(row.BaselineCycles)
 		rows = append(rows, row)

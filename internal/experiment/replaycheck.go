@@ -18,25 +18,30 @@ type ReplayRow struct {
 }
 
 // RunReplayCheck records and replays every application (one seed), checking
-// exact reproduction and the "<1 MB order log" claim.
+// exact reproduction and the "<1 MB order log" claim. The per-app
+// record+replay pairs are independent and fan out across o.Procs workers.
 func RunReplayCheck(o Options) ([]ReplayRow, error) {
 	o = o.withDefaults()
-	var rows []ReplayRow
-	for _, app := range o.Apps {
+	rows := make([]ReplayRow, len(o.Apps))
+	if err := forEach(o.Procs, len(o.Apps), func(i int) error {
+		app := o.Apps[i]
 		out, err := replay.RecordAndReplay(app.Build(o.Scale, o.Threads), replay.Options{
-			Seed: o.BaseSeed + 1, Jitter: 7,
+			Seed: o.BaseSeed + 1, Jitter: campaignJitter,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: replaying %s: %w", app.Name, err)
+			return fmt.Errorf("experiment: replaying %s: %w", app.Name, err)
 		}
-		rows = append(rows, ReplayRow{
+		rows[i] = ReplayRow{
 			App:        app.Name,
 			Accesses:   out.Recorded.Accesses,
 			LogEntries: out.Log.Len(),
 			LogBytes:   out.Log.SizeBytes(),
 			Match:      out.Match,
 			Mismatch:   out.Mismatch,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,133 @@
+// Package experiment reproduces the paper's evaluation (§4): the injection
+// campaign behind Figures 10 and 12–17, the performance-overhead comparison
+// of Figure 11, the Table 1 catalogue, the order-log/replay verification of
+// §3.3, and the chip-area arithmetic of §2.3–2.4.
+//
+// # Campaigns decompose into independent runs
+//
+// Every campaign in this package — fault injection (RunDetection), per-app
+// sizing (RunTable1), overhead measurement (RunOverhead), directory traffic
+// (RunDirectory), and record/replay verification (RunReplayCheck) — is a
+// flat list of independent simulations. Each run constructs its own
+// workload, engine, and detectors, shares no state with any other run, and
+// is fully determined by its seed. The seed is derived purely from campaign
+// parameters — (BaseSeed, application index, configuration, run index) —
+// never from wall-clock time or from what other runs did.
+//
+// That property is what makes campaign-level parallelism free of
+// result-level consequences: Options.Procs fans the run list out across a
+// worker pool, results are collected keyed by run index and aggregated in
+// index order, so the output is bit-identical at Procs: 1 and Procs: N.
+// Execution order affects only wall-clock time; seeds, not scheduling,
+// define results.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"cord/internal/sim"
+	"cord/internal/workload"
+)
+
+// campaignJitter is the per-operation scheduling jitter (in cycles) every
+// detection-style campaign run uses, so that different seeds explore
+// different interleavings (§3.4 methodology). Overhead runs use a smaller
+// jitter of their own to keep cycle counts comparable.
+const campaignJitter = 7
+
+// runSim executes one simulation of app under the campaign's shared
+// conventions: the workload is built at the campaign's Scale, cfg.Jitter
+// defaults to campaignJitter, and errors are wrapped with the campaign
+// stage and application name. threads is the workload's thread count —
+// o.Threads for every campaign except the directory experiment, which
+// passes its own processor count. All campaign entry points construct
+// their runs through this one helper.
+func (o Options) runSim(stage string, app workload.App, threads int, cfg sim.Config) (sim.Result, error) {
+	if cfg.Jitter == 0 {
+		cfg.Jitter = campaignJitter
+	}
+	res, err := sim.New(cfg, app.Build(o.Scale, threads)).Run()
+	if err != nil {
+		return res, fmt.Errorf("experiment: %s %s: %w", stage, app.Name, err)
+	}
+	return res, nil
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to procs concurrent
+// workers. fn must write its result into index-keyed storage (a slice cell
+// it alone owns), so that collected output is independent of scheduling;
+// aggregation then happens in index order on the caller's side. The first
+// error cancels the shared context, which stops new work from being
+// dispatched (runs already in flight finish), and is the error returned.
+func forEach(procs, n int, fn func(i int) error) error {
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain remaining indices after cancellation
+				}
+				if err := fn(i); err != nil {
+					cancel(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return context.Cause(ctx)
+}
+
+// syncWriter serializes concurrent Write calls so progress lines from
+// parallel workers never interleave mid-line.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newSyncWriter(w io.Writer) io.Writer {
+	if w == nil {
+		return nil
+	}
+	if _, ok := w.(*syncWriter); ok {
+		return w
+	}
+	return &syncWriter{w: w}
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// defaultProcs is the worker count when Options.Procs is unset.
+func defaultProcs() int { return runtime.NumCPU() }

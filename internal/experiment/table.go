@@ -1,7 +1,3 @@
-// Package experiment reproduces the paper's evaluation (§4): the injection
-// campaign behind Figures 10 and 12–17, the performance-overhead comparison
-// of Figure 11, the Table 1 catalogue, the order-log/replay verification of
-// §3.3, and the chip-area arithmetic of §2.3–2.4.
 package experiment
 
 import (

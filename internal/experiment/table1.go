@@ -19,23 +19,29 @@ type Table1Row struct {
 	Footprint     int // distinct non-zero words touched
 }
 
-// RunTable1 sizes every application with one plain run.
+// RunTable1 sizes every application with one plain run. The per-app runs
+// are independent and fan out across o.Procs workers; rows come back in
+// Apps order regardless of worker count.
 func RunTable1(o Options) ([]Table1Row, error) {
 	o = o.withDefaults()
-	var rows []Table1Row
-	for _, app := range o.Apps {
-		res, err := sim.New(sim.Config{Seed: o.BaseSeed, Jitter: 7}, app.Build(o.Scale, o.Threads)).Run()
+	rows := make([]Table1Row, len(o.Apps))
+	if err := forEach(o.Procs, len(o.Apps), func(i int) error {
+		app := o.Apps[i]
+		res, err := o.runSim("sizing", app, o.Threads, sim.Config{Seed: o.BaseSeed})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: sizing %s: %w", app.Name, err)
+			return err
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			App:           app.Name,
 			PaperInput:    app.Input,
 			Accesses:      res.Accesses,
 			Instructions:  res.Ops,
 			SyncInstances: res.SyncInstances,
 			Footprint:     res.Mem.Footprint(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

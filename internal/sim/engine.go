@@ -6,6 +6,17 @@
 // pluggable cost model, and implements the paper's methodology hooks:
 // sync-removal fault injection (§3.4), thread migration (§2.7.4), and
 // log-driven deterministic replay (§2.7.1).
+//
+// An execution is a pure function of its Config: the Seed drives all
+// scheduling jitter, workloads communicate only through the simulated
+// memory, and nothing reads the wall clock or global randomness, so the
+// same Config always reproduces the same interleaving, access stream, and
+// Result. Each Engine is also fully self-contained — no package-level
+// mutable state — so any number of engines can run concurrently on host
+// goroutines. Together these two properties let the experiment package
+// decompose a campaign into independent runs identified by their seeds and
+// fan them out across workers without affecting results: seeds, not host
+// execution order, define what happens.
 package sim
 
 import (

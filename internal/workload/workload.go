@@ -19,6 +19,13 @@
 //	water-n2   O(n²) cross-thread accumulator updates under per-molecule
 //	           locks with constant lock churn (scalar clocks miss everything)
 //	water-sp   the spatial variant: neighbor-only updates, shorter distances
+//
+// Build constructs a fresh, self-contained sim.Program on every call — its
+// own allocator, memory layout, and closure state — and programs behave
+// deterministically for a given engine seed. A campaign can therefore build
+// and run the same application many times concurrently (one instance per
+// injection run); which host worker executes an instance is irrelevant,
+// because the engine seed alone decides the interleaving each run observes.
 package workload
 
 import (
