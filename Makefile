@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench figures clean
+.PHONY: check fmt vet build test race bench figures json-figures diff-figures clean
 
 check: fmt vet build test
 
@@ -34,6 +34,18 @@ bench:
 # Regenerate the paper's full evaluation (see EXPERIMENTS.md).
 figures:
 	$(GO) run ./cmd/cordbench -all -injections 80 | tee results.txt
+
+# Golden-baseline campaign: small enough for CI, deterministic at any -procs.
+GOLDEN_FLAGS = -all -injections 8 -q
+
+# Regenerate the committed machine-readable baselines in bench/. Run this
+# (and commit the result) after any change that intentionally shifts numbers.
+json-figures:
+	$(GO) run ./cmd/cordbench $(GOLDEN_FLAGS) -json bench > /dev/null
+
+# Gate a fresh run against the committed baselines; non-zero exit on drift.
+diff-figures:
+	$(GO) run ./cmd/cordbench $(GOLDEN_FLAGS) -diff bench
 
 clean:
 	$(GO) clean ./...

@@ -9,22 +9,59 @@
 // byte-identical at any -procs value for the same -seed; only wall-clock
 // time changes.
 //
+// Besides the human-oriented text tables, -json <dir> exports every selected
+// figure/table as a schema-versioned BENCH_<id>.json artifact, and
+// -diff <dir> compares the fresh run against such artifacts (the golden
+// baselines CI gates on). See EXPERIMENTS.md.
+//
 // Usage:
 //
 //	cordbench -all -injections 60
 //	cordbench -fig12 -fig16 -procs 8
+//	cordbench -all -injections 8 -json out/
+//	cordbench -all -injections 8 -diff out/ -diff-rel 0.05
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"cord/internal/experiment"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// validateFlags rejects degenerate campaign parameters up front: zero or
+// negative injection counts produce empty figures, non-positive scales
+// produce empty workloads, and negative worker counts read as "default" far
+// downstream — all of which used to surface as confusing campaign output
+// instead of a usage error.
+func validateFlags(injections, scale, ovScale, procs, dirProcs int) error {
+	if injections <= 0 {
+		return fmt.Errorf("-injections must be at least 1, got %d", injections)
+	}
+	if scale <= 0 {
+		return fmt.Errorf("-scale must be at least 1, got %d", scale)
+	}
+	if ovScale <= 0 {
+		return fmt.Errorf("-overhead-scale must be at least 1, got %d", ovScale)
+	}
+	if procs < 0 {
+		return fmt.Errorf("-procs must be >= 0 (0 selects all CPUs), got %d", procs)
+	}
+	if dirProcs < 2 {
+		return fmt.Errorf("-directory-procs must be at least 2, got %d", dirProcs)
+	}
+	return nil
+}
+
+func run() int {
 	var (
 		all        = flag.Bool("all", false, "produce every table and figure")
 		table1     = flag.Bool("table1", false, "Table 1: application catalogue")
@@ -46,8 +83,25 @@ func main() {
 		seed       = flag.Uint64("seed", 0xC0DD, "campaign base seed")
 		procs      = flag.Int("procs", 0, "host worker goroutines for campaign runs (0 = all CPUs); does not affect results")
 		quiet      = flag.Bool("q", false, "suppress progress lines")
+		jsonDir    = flag.String("json", "", "also write one BENCH_<id>.json artifact per selected figure/table into this directory")
+		diffDir    = flag.String("diff", "", "diff the fresh run against BENCH_<id>.json baselines in this directory (exit 1 on differences)")
+		diffAbs    = flag.Float64("diff-abs", 0, "absolute per-cell tolerance for -diff")
+		diffRel    = flag.Float64("diff-rel", 0, "relative per-cell tolerance for -diff (0.05 = 5%)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*injections, *scale, *ovScale, *procs, *dirProcs); err != nil {
+		fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+	if *diffAbs < 0 || *diffRel < 0 {
+		fmt.Fprintf(os.Stderr, "cordbench: -diff-abs and -diff-rel must be >= 0\n")
+		flag.Usage()
+		return 2
+	}
 
 	if *all {
 		*table1, *fig10, *fig11, *fig12, *fig13 = true, true, true, true, true
@@ -55,7 +109,36 @@ func main() {
 	}
 	if !(*table1 || *fig10 || *fig11 || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17 || *area || *replayFl || *dirFl) {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "cordbench: writing heap profile: %v\n", err)
+			}
+		}()
 	}
 
 	opts := experiment.Options{Scale: *scale, Injections: *injections, BaseSeed: *seed, Procs: *procs}
@@ -63,35 +146,38 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 	out := os.Stdout
-	fail := func(err error) {
+	errf := func(err error) int {
 		fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	var artifacts []experiment.Artifact
 
 	if *table1 {
 		rows, err := experiment.RunTable1(opts)
 		if err != nil {
-			fail(err)
+			return errf(err)
 		}
 		fmt.Fprintln(out, "TABLE 1 — applications at this scale")
 		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		experiment.RenderTable1(rows, tw)
 		tw.Flush()
 		fmt.Fprintln(out)
+		artifacts = append(artifacts, experiment.Table1Artifact(rows, opts.Meta()))
 	}
 
 	if *area {
 		f := experiment.AreaFigure()
 		if err := f.Render(out); err != nil {
-			fail(err)
+			return errf(err)
 		}
+		artifacts = append(artifacts, experiment.FigureArtifact(f, opts.Meta()))
 	}
 
 	needDetection := *fig10 || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17
 	if needDetection {
 		res, err := experiment.RunDetection(opts)
 		if err != nil {
-			fail(err)
+			return errf(err)
 		}
 		figs := []struct {
 			want bool
@@ -111,8 +197,9 @@ func main() {
 			}
 			fig := f.fig
 			if err := fig.Render(out); err != nil {
-				fail(err)
+				return errf(err)
 			}
+			artifacts = append(artifacts, experiment.FigureArtifact(fig, opts.Meta()))
 		}
 		if n := res.FalsePositives(); n != 0 {
 			fmt.Fprintf(out, "WARNING: %d oracle-unconfirmed CORD reports (expected 0)\n", n)
@@ -125,36 +212,82 @@ func main() {
 	if *fig11 {
 		ovOpts := opts
 		ovOpts.Scale = *ovScale
-		_, fig, err := experiment.RunOverhead(ovOpts)
+		rows, fig, err := experiment.RunOverhead(ovOpts)
 		if err != nil {
-			fail(err)
+			return errf(err)
 		}
 		if err := fig.Render(out); err != nil {
-			fail(err)
+			return errf(err)
 		}
+		artifacts = append(artifacts, experiment.OverheadArtifact(rows, fig, ovOpts.Meta()))
 	}
 
 	if *replayFl {
 		rows, err := experiment.RunReplayCheck(opts)
 		if err != nil {
-			fail(err)
+			return errf(err)
 		}
 		fmt.Fprintln(out, "RECORD/REPLAY — §3.3 verification")
 		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		experiment.RenderReplay(rows, tw)
 		tw.Flush()
 		fmt.Fprintln(out)
+		artifacts = append(artifacts, experiment.ReplayArtifact(rows, opts.Meta()))
 	}
 
 	if *dirFl {
 		rows, err := experiment.RunDirectory(opts, *dirProcs)
 		if err != nil {
-			fail(err)
+			return errf(err)
 		}
 		fmt.Fprintf(out, "DIRECTORY EXTENSION — §2.5, %d processors\n", *dirProcs)
 		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		experiment.RenderDirectory(rows, *dirProcs, tw)
 		tw.Flush()
 		fmt.Fprintln(out)
+		artifacts = append(artifacts, experiment.DirectoryArtifact(rows, *dirProcs, opts.Meta()))
 	}
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return errf(err)
+		}
+		for _, a := range artifacts {
+			path, err := experiment.WriteArtifact(*jsonDir, a)
+			if err != nil {
+				return errf(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+
+	if *diffDir != "" {
+		dopts := experiment.DiffOptions{Default: experiment.Tolerance{Abs: *diffAbs, Rel: *diffRel}}
+		bad := 0
+		for _, a := range artifacts {
+			base, err := experiment.ReadArtifact(filepath.Join(*diffDir, experiment.ArtifactFileName(a.ID)))
+			if err != nil {
+				fmt.Fprintf(out, "diff %s: %v\n", a.ID, err)
+				bad++
+				continue
+			}
+			diffs := experiment.DiffArtifacts(a, base, dopts)
+			if len(diffs) == 0 {
+				fmt.Fprintf(out, "diff %s: ok\n", a.ID)
+				continue
+			}
+			bad++
+			for _, d := range diffs {
+				fmt.Fprintf(out, "diff %s\n", d)
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(out, "diff: %d of %d artifacts differ from %s\n", bad, len(artifacts), *diffDir)
+			return 1
+		}
+		fmt.Fprintf(out, "diff: all %d artifacts match %s within tolerance\n", len(artifacts), *diffDir)
+	}
+	return 0
 }

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+// TestValidateFlags: degenerate campaign parameters must be rejected up
+// front with a usage error instead of producing empty figures or confusing
+// downstream failures.
+func TestValidateFlags(t *testing.T) {
+	ok := func(injections, scale, ovScale, procs, dirProcs int) {
+		t.Helper()
+		if err := validateFlags(injections, scale, ovScale, procs, dirProcs); err != nil {
+			t.Errorf("validateFlags(%d,%d,%d,%d,%d) = %v, want nil",
+				injections, scale, ovScale, procs, dirProcs, err)
+		}
+	}
+	bad := func(injections, scale, ovScale, procs, dirProcs int) {
+		t.Helper()
+		if err := validateFlags(injections, scale, ovScale, procs, dirProcs); err == nil {
+			t.Errorf("validateFlags(%d,%d,%d,%d,%d) accepted degenerate flags",
+				injections, scale, ovScale, procs, dirProcs)
+		}
+	}
+
+	ok(40, 1, 4, 0, 16) // the defaults
+	ok(1, 1, 1, 8, 2)   // minimal legal values
+
+	bad(0, 1, 4, 0, 16)  // -injections 0: empty detection campaign
+	bad(-5, 1, 4, 0, 16) // negative injections
+	bad(40, 0, 4, 0, 16) // -scale 0: empty workloads
+	bad(40, -1, 4, 0, 16)
+	bad(40, 1, 0, 0, 16)  // -overhead-scale 0
+	bad(40, 1, 4, -1, 16) // negative host worker count
+	bad(40, 1, 4, 0, 1)   // single-processor directory machine
+	bad(40, 1, 4, 0, 0)
+}

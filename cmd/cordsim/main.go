@@ -9,32 +9,99 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"cord"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// runSummary is the machine-readable view of one simulation: the engine
+// result plus each detector's verdict and CORD's activity counters, under
+// the same schema-versioning convention as cordbench artifacts.
+type runSummary struct {
+	Schema    int                `json:"schema"`
+	App       string             `json:"app"`
+	Seed      uint64             `json:"seed"`
+	Scale     int                `json:"scale"`
+	Threads   int                `json:"threads"`
+	Inject    uint64             `json:"inject,omitempty"`
+	D         int                `json:"d"`
+	Result    cord.Result        `json:"result"`
+	Detectors []detectorSummary  `json:"detectors"`
+	CordStats cord.DetectorStats `json:"cord_stats"`
+	LogBytes  int                `json:"log_bytes"`
+}
+
+type detectorSummary struct {
+	Name            string `json:"name"`
+	RacyAccesses    int    `json:"racy_accesses"`
+	ProblemDetected bool   `json:"problem_detected"`
+}
+
+func run() int {
 	var (
-		appName = flag.String("app", "raytrace", "application (see -list)")
-		list    = flag.Bool("list", false, "list applications and exit")
-		seed    = flag.Uint64("seed", 1, "scheduling seed")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		threads = flag.Int("threads", 4, "threads (= processors)")
-		inject  = flag.Uint64("inject", 0, "remove the Nth dynamic sync instance (0 = none)")
-		d       = flag.Int("d", 16, "CORD sync-read window D")
-		races   = flag.Int("races", 10, "max races to print per detector")
+		appName    = flag.String("app", "raytrace", "application (see -list)")
+		list       = flag.Bool("list", false, "list applications and exit")
+		seed       = flag.Uint64("seed", 1, "scheduling seed")
+		scale      = flag.Int("scale", 1, "workload scale factor")
+		threads    = flag.Int("threads", 4, "threads (= processors)")
+		inject     = flag.Uint64("inject", 0, "remove the Nth dynamic sync instance (0 = none)")
+		d          = flag.Int("d", 16, "CORD sync-read window D")
+		races      = flag.Int("races", 10, "max races to print per detector")
+		jsonPath   = flag.String("json", "", "write a machine-readable run summary to this file (- for stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *scale <= 0 || *threads <= 0 {
+		fmt.Fprintf(os.Stderr, "cordsim: -scale and -threads must be at least 1\n")
+		flag.Usage()
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cordsim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cordsim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cordsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "cordsim: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, a := range cord.Apps() {
 			fmt.Printf("%-10s (paper input: %s)\n", a.Name, a.Input)
 		}
-		return
+		return 0
 	}
 
 	var app cord.App
@@ -46,7 +113,7 @@ func main() {
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "cordsim: unknown application %q (try -list)\n", *appName)
-		os.Exit(2)
+		return 2
 	}
 
 	det := cord.NewDetector(cord.DetectorConfig{Threads: *threads, Procs: *threads, D: *d, Record: true})
@@ -59,7 +126,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cordsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("%s seed=%d scale=%d threads=%d inject=%d\n", app.Name, *seed, *scale, *threads, *inject)
@@ -94,4 +161,37 @@ func main() {
 		fmt.Printf("  %v  [%s]\n", r, confirmed)
 		shown++
 	}
+
+	if *jsonPath != "" {
+		sum := runSummary{
+			Schema:  1,
+			App:     app.Name,
+			Seed:    *seed,
+			Scale:   *scale,
+			Threads: *threads,
+			Inject:  *inject,
+			D:       *d,
+			Result:  res,
+			Detectors: []detectorSummary{
+				{Name: ideal.Name(), RacyAccesses: ideal.RaceCount(), ProblemDetected: ideal.ProblemDetected()},
+				{Name: vec.Name(), RacyAccesses: vec.RaceCount(), ProblemDetected: vec.ProblemDetected()},
+				{Name: det.Name(), RacyAccesses: det.RaceCount(), ProblemDetected: det.ProblemDetected()},
+			},
+			CordStats: st,
+			LogBytes:  det.Log().SizeBytes(),
+		}
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cordsim: encoding summary: %v\n", err)
+			return 1
+		}
+		b = append(b, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cordsim: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -91,6 +91,9 @@ type (
 	Detector = core.Detector
 	// DetectorConfig parameterizes a CORD instance.
 	DetectorConfig = core.Config
+	// DetectorStats are a CORD instance's activity counters; they carry a
+	// stable JSON encoding for machine-readable run summaries.
+	DetectorStats = core.Stats
 	// IdealDetector is the ground-truth oracle.
 	IdealDetector = baseline.Ideal
 	// VectorDetector is the cache-bounded vector-clock baseline.

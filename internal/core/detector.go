@@ -92,19 +92,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats exposes the detector's internal activity counters.
+// Stats exposes the detector's internal activity counters. The json tags are
+// the stable wire encoding used by exported run artifacts.
 type Stats struct {
-	Accesses        uint64
-	FastPathHits    uint64
-	FilterHits      uint64
-	CheckRequests   uint64
-	MemTsBroadcasts uint64
-	ClockChanges    uint64
-	WalkerRetired   uint64
-	StalledUpdates  uint64
-	ViaMemoryRaces  int
-	RaceCount       int // racy accesses (>=1 reported conflict)
-	RaceReports     int // individual reported conflicts
+	Accesses        uint64 `json:"accesses"`
+	FastPathHits    uint64 `json:"fast_path_hits"`
+	FilterHits      uint64 `json:"filter_hits"`
+	CheckRequests   uint64 `json:"check_requests"`
+	MemTsBroadcasts uint64 `json:"mem_ts_broadcasts"`
+	ClockChanges    uint64 `json:"clock_changes"`
+	WalkerRetired   uint64 `json:"walker_retired"`
+	StalledUpdates  uint64 `json:"stalled_updates"`
+	ViaMemoryRaces  int    `json:"via_memory_races"`
+	RaceCount       int    `json:"race_count"`   // racy accesses (>=1 reported conflict)
+	RaceReports     int    `json:"race_reports"` // individual reported conflicts
 }
 
 // Detector is one CORD instance attached to an execution. It implements

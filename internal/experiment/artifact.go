@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SchemaVersion is the artifact wire-format version. Bump it on any change
+// to the JSON shape of Artifact or the types it embeds; readers reject
+// versions they do not understand instead of mis-parsing them.
+const SchemaVersion = 1
+
+// CampaignMeta stamps an artifact with the campaign configuration that
+// produced it, so a baseline and a fresh run can be checked for
+// comparability before their cells are diffed. Options.Procs is deliberately
+// absent: results are worker-count independent (see the package comment),
+// and artifacts must be byte-identical at any Procs.
+type CampaignMeta struct {
+	BaseSeed   uint64   `json:"base_seed"`
+	Scale      int      `json:"scale"`
+	Threads    int      `json:"threads"`
+	Injections int      `json:"injections"`
+	Apps       []string `json:"apps"`
+}
+
+// Meta derives the campaign metadata stamped into every artifact this
+// Options value produces, with defaults applied.
+func (o Options) Meta() CampaignMeta {
+	o = o.withDefaults()
+	apps := make([]string, len(o.Apps))
+	for i, a := range o.Apps {
+		apps[i] = a.Name
+	}
+	return CampaignMeta{
+		BaseSeed:   o.BaseSeed,
+		Scale:      o.Scale,
+		Threads:    o.Threads,
+		Injections: o.Injections,
+		Apps:       apps,
+	}
+}
+
+// Artifact kinds. Every artifact carries a numeric Figure (the diffable
+// view); table-shaped artifacts additionally carry their typed rows.
+const (
+	KindFigure    = "figure"
+	KindTable1    = "table1"
+	KindOverhead  = "overhead"
+	KindReplay    = "replay"
+	KindDirectory = "directory"
+)
+
+// Artifact is one machine-readable evaluation product: a figure or table
+// plus the campaign metadata needed to reproduce and compare it. Encoded
+// artifacts are deterministic — the same campaign flags yield byte-identical
+// files at any worker count — which is what makes them diffable baselines
+// (BENCH_<id>.json) for CI and perf-trajectory tracking.
+type Artifact struct {
+	Schema   int          `json:"schema"`
+	Kind     string       `json:"kind"`
+	ID       string       `json:"id"`
+	Campaign CampaignMeta `json:"campaign"`
+	// SimProcs is the simulated processor count for artifacts measured at a
+	// non-default machine width (the directory extension).
+	SimProcs int `json:"sim_procs,omitempty"`
+	// Figure is the numeric view every artifact carries; DiffArtifacts
+	// compares it cell-by-cell.
+	Figure Figure `json:"figure"`
+	// Typed rows for table-shaped artifacts (exactly one is set, matching
+	// Kind; plain figures carry none).
+	Table1    []Table1Row    `json:"table1,omitempty"`
+	Overhead  []OverheadRow  `json:"overhead,omitempty"`
+	Replay    []ReplayRow    `json:"replay,omitempty"`
+	Directory []DirectoryRow `json:"directory,omitempty"`
+}
+
+// FigureArtifact wraps a rendered figure (detection figures, the area
+// arithmetic) as an artifact.
+func FigureArtifact(f Figure, meta CampaignMeta) Artifact {
+	return Artifact{Schema: SchemaVersion, Kind: KindFigure, ID: f.ID, Campaign: meta, Figure: f}
+}
+
+// Table1Artifact wraps the application catalogue.
+func Table1Artifact(rows []Table1Row, meta CampaignMeta) Artifact {
+	return Artifact{Schema: SchemaVersion, Kind: KindTable1, ID: "table1", Campaign: meta,
+		Figure: Table1Figure(rows), Table1: rows}
+}
+
+// OverheadArtifact wraps the Figure 11 measurement with its per-app rows.
+func OverheadArtifact(rows []OverheadRow, fig Figure, meta CampaignMeta) Artifact {
+	return Artifact{Schema: SchemaVersion, Kind: KindOverhead, ID: fig.ID, Campaign: meta,
+		Figure: fig, Overhead: rows}
+}
+
+// ReplayArtifact wraps the §3.3 record/replay verification table.
+func ReplayArtifact(rows []ReplayRow, meta CampaignMeta) Artifact {
+	return Artifact{Schema: SchemaVersion, Kind: KindReplay, ID: "replay", Campaign: meta,
+		Figure: ReplayFigure(rows), Replay: rows}
+}
+
+// DirectoryArtifact wraps the §2.5 directory-extension traffic comparison,
+// measured at simProcs simulated processors.
+func DirectoryArtifact(rows []DirectoryRow, simProcs int, meta CampaignMeta) Artifact {
+	return Artifact{Schema: SchemaVersion, Kind: KindDirectory, ID: "directory", Campaign: meta,
+		SimProcs: simProcs, Figure: DirectoryFigure(rows), Directory: rows}
+}
+
+// Encode renders the artifact in its canonical byte form: two-space-indented
+// JSON with a trailing newline. encoding/json is deterministic for these
+// types (fixed struct field order, shortest round-trip float formatting), so
+// equal artifacts encode to equal bytes.
+func (a Artifact) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiment: encoding artifact %s: %w", a.ID, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeArtifact parses a canonical artifact, rejecting unknown schema
+// versions.
+func DecodeArtifact(b []byte) (Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return Artifact{}, fmt.Errorf("experiment: decoding artifact: %w", err)
+	}
+	if a.Schema != SchemaVersion {
+		return Artifact{}, fmt.Errorf("experiment: artifact %q has schema %d, this build reads %d",
+			a.ID, a.Schema, SchemaVersion)
+	}
+	return a, nil
+}
+
+// ArtifactFileName is the on-disk naming convention for baselines:
+// BENCH_<id>.json.
+func ArtifactFileName(id string) string { return "BENCH_" + id + ".json" }
+
+// WriteArtifact encodes a into dir under its conventional file name and
+// returns the path written.
+func WriteArtifact(dir string, a Artifact) (string, error) {
+	b, err := a.Encode()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ArtifactFileName(a.ID))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", fmt.Errorf("experiment: writing artifact: %w", err)
+	}
+	return path, nil
+}
+
+// ReadArtifact loads and decodes one artifact file.
+func ReadArtifact(path string) (Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("experiment: reading artifact: %w", err)
+	}
+	a, err := DecodeArtifact(b)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("%w (%s)", err, path)
+	}
+	return a, nil
+}

@@ -118,6 +118,71 @@ func TestParallelTablesBitIdentical(t *testing.T) {
 	}
 }
 
+// TestJSONArtifactsBitIdentical: the encoded BENCH_*.json artifacts — the
+// shipped machine-readable form, campaign metadata included — are
+// byte-identical at Procs: 1 and Procs: 4. This is the export-layer
+// counterpart of the figure-rendering checks above: worker fan-out must not
+// leak into artifacts, or they could not serve as diffable baselines.
+func TestJSONArtifactsBitIdentical(t *testing.T) {
+	encodeAll := func(procs int) map[string][]byte {
+		o := twoAppOpts(procs)
+		meta := o.Meta()
+
+		res, err := RunDetection(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1, err := RunTable1(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ovRows, ovFig, err := RunOverhead(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := RunReplayCheck(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := RunDirectory(o, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		arts := []Artifact{
+			Table1Artifact(t1, meta),
+			FigureArtifact(AreaFigure(), meta),
+			OverheadArtifact(ovRows, ovFig, meta),
+			ReplayArtifact(rp, meta),
+			DirectoryArtifact(dir, 8, meta),
+		}
+		for _, f := range []Figure{res.Fig10(), res.Fig12(), res.Fig16()} {
+			arts = append(arts, FigureArtifact(f, meta))
+		}
+		out := make(map[string][]byte, len(arts))
+		for _, a := range arts {
+			b, err := a.Encode()
+			if err != nil {
+				t.Fatalf("%s: %v", a.ID, err)
+			}
+			out[a.ID] = b
+		}
+		return out
+	}
+
+	serial := encodeAll(1)
+	par := encodeAll(4)
+	if len(serial) != len(par) {
+		t.Fatalf("artifact sets differ: %d vs %d", len(serial), len(par))
+	}
+	for id, b := range serial {
+		if !bytes.Equal(b, par[id]) {
+			t.Errorf("artifact %s is not byte-identical between Procs=1 and Procs=4:\n%s\nvs\n%s",
+				id, b, par[id])
+		}
+	}
+}
+
 func TestForEach(t *testing.T) {
 	for _, procs := range []int{1, 4, 100} {
 		var sum atomic.Int64

@@ -13,19 +13,41 @@ import (
 // DirectoryRow compares, for one application, the snooping broadcast traffic
 // with the directory extension's point-to-point messages on the same
 // executions (§2.5's proposed extension).
+// The json tags are the stable wire encoding used by exported benchmark
+// artifacts.
 type DirectoryRow struct {
-	App string
+	App string `json:"app"`
 	// Requests is the number of bus-visible CORD transactions.
-	Requests uint64
+	Requests uint64 `json:"requests"`
 	// Forwards is the directory's sharer-forward count for them.
-	Forwards uint64
+	Forwards uint64 `json:"forwards"`
 	// SnoopMessages is what a broadcast protocol costs: every transaction
 	// observed by every other processor.
-	SnoopMessages uint64
+	SnoopMessages uint64 `json:"snoop_messages"`
 	// MemTsMessages is the directory-homed memory-timestamp update count.
-	MemTsMessages uint64
+	MemTsMessages uint64 `json:"mem_ts_messages"`
 	// RacesMatch confirms the two protocols detected identical race counts.
-	RacesMatch bool
+	RacesMatch bool `json:"races_match"`
+}
+
+// DirectoryFigure is the numeric view of the traffic comparison, the
+// representation artifact diffing compares cell-by-cell (match is 1/0).
+func DirectoryFigure(rows []DirectoryRow) Figure {
+	f := Figure{
+		ID:      "directory",
+		Title:   "Directory-extension traffic vs broadcast snooping (§2.5)",
+		Columns: []string{"requests", "dir forwards", "snoop msgs", "mem-ts msgs", "detection match"},
+	}
+	for _, r := range rows {
+		match := 0.0
+		if r.RacesMatch {
+			match = 1
+		}
+		f.Rows = append(f.Rows, Row{Label: r.App, Values: []float64{
+			float64(r.Requests), float64(r.Forwards), float64(r.SnoopMessages), float64(r.MemTsMessages), match,
+		}})
+	}
+	return f
 }
 
 // RunDirectory measures the extension at the given processor count (procs

@@ -9,18 +9,19 @@ import (
 	"cord/internal/trace"
 )
 
-// OverheadRow is one application's Figure 11 measurement.
+// OverheadRow is one application's Figure 11 measurement. The json tags are
+// the stable wire encoding used by exported benchmark artifacts.
 type OverheadRow struct {
-	App            string
-	BaselineCycles uint64
-	CordCycles     uint64
+	App            string `json:"app"`
+	BaselineCycles uint64 `json:"baseline_cycles"`
+	CordCycles     uint64 `json:"cord_cycles"`
 	// Relative is CordCycles / BaselineCycles (1.004 = 0.4% overhead).
-	Relative float64
+	Relative float64 `json:"relative"`
 	// CheckRequests and MemTsUpdates are CORD's address/timestamp-bus
 	// transactions during the run.
-	CheckRequests   uint64
-	MemTsBroadcasts uint64
-	LogBytes        int
+	CheckRequests   uint64 `json:"check_requests"`
+	MemTsBroadcasts uint64 `json:"mem_ts_broadcasts"`
+	LogBytes        int    `json:"log_bytes"`
 }
 
 // RunOverhead reproduces Figure 11: each application runs twice on the

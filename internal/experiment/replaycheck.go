@@ -7,14 +7,36 @@ import (
 	"cord/internal/replay"
 )
 
-// ReplayRow is one application's §3.3-style record/replay verification.
+// ReplayRow is one application's §3.3-style record/replay verification. The
+// json tags are the stable wire encoding used by exported benchmark
+// artifacts.
 type ReplayRow struct {
-	App        string
-	Accesses   uint64
-	LogEntries int
-	LogBytes   int
-	Match      bool
-	Mismatch   string
+	App        string `json:"app"`
+	Accesses   uint64 `json:"accesses"`
+	LogEntries int    `json:"log_entries"`
+	LogBytes   int    `json:"log_bytes"`
+	Match      bool   `json:"match"`
+	Mismatch   string `json:"mismatch,omitempty"`
+}
+
+// ReplayFigure is the numeric view of the verification table, the
+// representation artifact diffing compares cell-by-cell (match is 1/0).
+func ReplayFigure(rows []ReplayRow) Figure {
+	f := Figure{
+		ID:      "replay",
+		Title:   "Record/replay verification (§3.3)",
+		Columns: []string{"accesses", "log entries", "log bytes", "exact replay"},
+	}
+	for _, r := range rows {
+		match := 0.0
+		if r.Match {
+			match = 1
+		}
+		f.Rows = append(f.Rows, Row{Label: r.App, Values: []float64{
+			float64(r.Accesses), float64(r.LogEntries), float64(r.LogBytes), match,
+		}})
+	}
+	return f
 }
 
 // RunReplayCheck records and replays every application (one seed), checking

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -9,19 +10,61 @@ import (
 )
 
 // Figure is one reproduced table or figure: rows of labelled values plus
-// explanatory notes.
+// explanatory notes. The json tags are the stable wire encoding used by
+// exported benchmark artifacts (see artifact.go).
 type Figure struct {
-	ID      string // e.g. "fig12"
-	Title   string
-	Columns []string
-	Rows    []Row
-	Notes   []string
+	ID      string   `json:"id"` // e.g. "fig12"
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
+	Notes   []string `json:"notes,omitempty"`
 }
 
 // Row is one labelled series of values.
 type Row struct {
 	Label  string
 	Values []float64
+}
+
+// rowJSON is Row's wire shape: JSON has no NaN, so empty-denominator cells
+// (the ones Percent renders as "-") travel as null.
+type rowJSON struct {
+	Label  string     `json:"label"`
+	Values []*float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler, mapping non-finite values to null.
+func (r Row) MarshalJSON() ([]byte, error) {
+	rj := rowJSON{Label: r.Label, Values: make([]*float64, len(r.Values))}
+	for i, v := range r.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			v := v
+			rj.Values[i] = &v
+		}
+	}
+	return json.Marshal(rj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, mapping null cells back to NaN
+// so that encode → decode → encode is byte-identical.
+func (r *Row) UnmarshalJSON(b []byte) error {
+	var rj rowJSON
+	if err := json.Unmarshal(b, &rj); err != nil {
+		return err
+	}
+	r.Label = rj.Label
+	r.Values = nil
+	if rj.Values != nil {
+		r.Values = make([]float64, len(rj.Values))
+	}
+	for i, p := range rj.Values {
+		if p == nil {
+			r.Values[i] = math.NaN()
+		} else {
+			r.Values[i] = *p
+		}
+	}
+	return nil
 }
 
 // Percent formats v (a ratio) as a percentage cell; NaN renders as "-".

@@ -9,14 +9,31 @@ import (
 )
 
 // Table1Row characterizes one application at the campaign's scale — the
-// reproduction's analogue of the paper's Table 1 input-set listing.
+// reproduction's analogue of the paper's Table 1 input-set listing. The json
+// tags are the stable wire encoding used by exported benchmark artifacts.
 type Table1Row struct {
-	App           string
-	PaperInput    string
-	Accesses      uint64
-	Instructions  uint64
-	SyncInstances uint64
-	Footprint     int // distinct non-zero words touched
+	App           string `json:"app"`
+	PaperInput    string `json:"paper_input"`
+	Accesses      uint64 `json:"accesses"`
+	Instructions  uint64 `json:"instructions"`
+	SyncInstances uint64 `json:"sync_instances"`
+	Footprint     int    `json:"footprint"` // distinct non-zero words touched
+}
+
+// Table1Figure is the numeric view of the catalogue, the representation
+// artifact diffing compares cell-by-cell.
+func Table1Figure(rows []Table1Row) Figure {
+	f := Figure{
+		ID:      "table1",
+		Title:   "Application catalogue at this scale (Table 1)",
+		Columns: []string{"accesses", "instructions", "sync instances", "words touched"},
+	}
+	for _, r := range rows {
+		f.Rows = append(f.Rows, Row{Label: r.App, Values: []float64{
+			float64(r.Accesses), float64(r.Instructions), float64(r.SyncInstances), float64(r.Footprint),
+		}})
+	}
+	return f
 }
 
 // RunTable1 sizes every application with one plain run. The per-app runs

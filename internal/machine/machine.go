@@ -46,6 +46,7 @@ type Machine struct {
 
 	// stats
 	misses, c2c, memFetch, upgrades uint64
+	dirtyInvals                     uint64
 	checkStalls                     uint64
 	stallCycles                     uint64
 }
@@ -109,7 +110,17 @@ func (m *Machine) AccessCost(now uint64, proc int, a trace.Access, rep trace.Rep
 			}
 			for p, rh := range m.procs {
 				if p != proc && rh.Invalidate(l) {
-					delete(m.dirty[p], l)
+					if m.dirty[p][l] {
+						// Invalidating a remote *dirty* copy flushes its data:
+						// a cache-to-cache supply on the data bus plus the
+						// memory write-back, like an eviction. The transfer
+						// happens off the writer's critical path, so it
+						// occupies the buses without delaying retirement.
+						m.dirtyInvals++
+						wb := m.fabric.Data.Acquire(end, t.DataBusCycles)
+						m.fabric.Mem.Acquire(wb, t.MemoryCycles)
+						delete(m.dirty[p], l)
+					}
 				}
 			}
 		}
@@ -149,12 +160,22 @@ func (m *Machine) AccessCost(now uint64, proc int, a trace.Access, rep trace.Rep
 // ComputeCost implements the CostModel contract.
 func (m *Machine) ComputeCost(proc int, n uint64) uint64 { return n }
 
-// Stats describes the machine's interconnect activity after a run.
+// Stats describes the machine's interconnect activity after a run. The json
+// tags are the stable wire encoding used by exported benchmark artifacts.
 type Stats struct {
-	Misses, CacheToCache, MemFetches, Upgrades uint64
-	AddrBusBusy, AddrBusTrans                  uint64
-	DataBusBusy, DataBusTrans                  uint64
-	CheckStalls, StallCycles                   uint64
+	Misses       uint64 `json:"misses"`
+	CacheToCache uint64 `json:"cache_to_cache"`
+	MemFetches   uint64 `json:"mem_fetches"`
+	Upgrades     uint64 `json:"upgrades"`
+	// DirtyInvalidations counts writes that invalidated a remote dirty copy,
+	// each billed as a data-bus cache-to-cache supply plus memory write-back.
+	DirtyInvalidations uint64 `json:"dirty_invalidations"`
+	AddrBusBusy        uint64 `json:"addr_bus_busy"`
+	AddrBusTrans       uint64 `json:"addr_bus_trans"`
+	DataBusBusy        uint64 `json:"data_bus_busy"`
+	DataBusTrans       uint64 `json:"data_bus_trans"`
+	CheckStalls        uint64 `json:"check_stalls"`
+	StallCycles        uint64 `json:"stall_cycles"`
 }
 
 // Stats returns cumulative counters.
@@ -163,7 +184,8 @@ func (m *Machine) Stats() Stats {
 	db, dt := m.fabric.Data.Stats()
 	return Stats{
 		Misses: m.misses, CacheToCache: m.c2c, MemFetches: m.memFetch, Upgrades: m.upgrades,
-		AddrBusBusy: ab, AddrBusTrans: at,
+		DirtyInvalidations: m.dirtyInvals,
+		AddrBusBusy:        ab, AddrBusTrans: at,
 		DataBusBusy: db, DataBusTrans: dt,
 		CheckStalls: m.checkStalls, StallCycles: m.stallCycles,
 	}

@@ -68,6 +68,48 @@ func TestUpgradeCountsOnSharedWriteHit(t *testing.T) {
 	}
 }
 
+// TestDirtyInvalidationBillsWriteBack: a write that invalidates a remote
+// *dirty* copy must put that copy's data on the data bus (cache-to-cache
+// supply + memory write-back), not silently drop it.
+func TestDirtyInvalidationBillsWriteBack(t *testing.T) {
+	m := New(DefaultConfig())
+	// Proc 1 writes a line cold: it is now dirty in proc 1's cache.
+	m.AccessCost(0, 1, acc(1, 0x1000, trace.Write), trace.Report{})
+	before := m.Stats()
+	// Proc 0 writes the same line: c2c fill plus the invalidated dirty
+	// copy's write-back — two data-bus transactions.
+	m.AccessCost(100000, 0, acc(0, 0x1000, trace.Write), trace.Report{})
+	st := m.Stats()
+	if st.DirtyInvalidations != 1 {
+		t.Fatalf("dirty invalidations = %d, want 1", st.DirtyInvalidations)
+	}
+	if got := st.DataBusTrans - before.DataBusTrans; got != 2 {
+		t.Fatalf("data bus transactions grew by %d, want 2 (fill + write-back)", got)
+	}
+	// Proc 0 now holds the only copy: a further write is silent.
+	m.AccessCost(200000, 0, acc(0, 0x1000, trace.Write), trace.Report{})
+	if st := m.Stats(); st.DirtyInvalidations != 1 {
+		t.Fatalf("exclusive rewrite billed a dirty invalidation: %+v", st)
+	}
+}
+
+// TestCleanInvalidationIsSilent: invalidating a remote clean copy costs no
+// data-bus transfer — only dirty copies have data to flush.
+func TestCleanInvalidationIsSilent(t *testing.T) {
+	m := New(DefaultConfig())
+	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})
+	m.AccessCost(10000, 1, acc(1, 0x1000, trace.Read), trace.Report{}) // clean in both
+	before := m.Stats()
+	m.AccessCost(20000, 0, acc(0, 0x1000, trace.Write), trace.Report{}) // upgrade
+	st := m.Stats()
+	if st.DirtyInvalidations != 0 {
+		t.Fatalf("clean invalidation counted as dirty: %+v", st)
+	}
+	if st.DataBusTrans != before.DataBusTrans {
+		t.Fatalf("clean invalidation used the data bus: %+v", st)
+	}
+}
+
 func TestCordTrafficOccupiesAddrBus(t *testing.T) {
 	m := New(DefaultConfig())
 	m.AccessCost(0, 0, acc(0, 0x1000, trace.Read), trace.Report{})

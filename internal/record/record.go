@@ -96,11 +96,19 @@ func DecodeFrom(r io.Reader) (*Log, error) {
 	if n > maxEntries {
 		return nil, fmt.Errorf("%w: implausible entry count %d", ErrBadFormat, n)
 	}
-	l := &Log{entries: make([]Entry, 0, n)}
+	// The count is untrusted input: a malformed header must not make us
+	// allocate gigabytes before a single entry has been read. Preallocate at
+	// most maxPrealloc entries and let append grow the slice as real data
+	// arrives — a truncated stream then fails on ReadFull, not on OOM.
+	const maxPrealloc = 64 << 10
+	l := &Log{entries: make([]Entry, 0, min(n, maxPrealloc))}
 	var buf [EntryBytes]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("record: reading entry %d: %w", i, err)
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("%w: truncated at entry %d of %d: %w", ErrBadFormat, i, n, err)
 		}
 		l.entries = append(l.entries, Entry{
 			Clock:  clock.Scalar(binary.LittleEndian.Uint16(buf[0:2])),

@@ -2,6 +2,10 @@ package record
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -86,6 +90,40 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()-3]
 	if _, err := DecodeFrom(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated stream accepted")
+	}
+}
+
+// TestDecodeHugeCountHeaderDoesNotPreallocate: a 16-byte header alone can
+// claim up to 2^30 entries; decoding must fail with a clean read error on the
+// missing entries instead of allocating gigabytes up front.
+func TestDecodeHugeCountHeaderDoesNotPreallocate(t *testing.T) {
+	var hdr [16]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], 1<<30) // max accepted count, no entries follow
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := DecodeFrom(bytes.NewReader(hdr[:]))
+	runtime.ReadMemStats(&after)
+
+	if err == nil {
+		t.Fatal("truncated huge-count stream accepted")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) || !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat wrapping io.ErrUnexpectedEOF", err)
+	}
+	// 2^30 entries would be 8 GiB; the clamped prealloc is 512 KiB. Allow
+	// generous slack for test-harness noise.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Fatalf("DecodeFrom allocated %d bytes for a header-only stream", grew)
+	}
+
+	// A count just past the cap is rejected outright.
+	binary.LittleEndian.PutUint64(hdr[8:16], 1<<30+1)
+	if _, err := DecodeFrom(bytes.NewReader(hdr[:])); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("over-cap count: err = %v, want ErrBadFormat", err)
 	}
 }
 

@@ -87,32 +87,34 @@ type Config struct {
 	TraceReads func(thread int, addr memsys.Addr, value uint64)
 }
 
-// Result summarizes one execution.
+// Result summarizes one execution. The json tags are the stable wire
+// encoding used by exported run artifacts; the memory image is deliberately
+// excluded (it is not a metric, and footprints vary by workload scale).
 type Result struct {
 	// Cycles is the finishing virtual time (max over threads).
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// Ops is the total committed instruction count.
-	Ops uint64
+	Ops uint64 `json:"ops"`
 	// Accesses is the number of shared-memory access events delivered.
-	Accesses uint64
+	Accesses uint64 `json:"accesses"`
 	// SyncInstances is the number of countable dynamic sync instances
 	// (lock acquires and flag waits, §3.4) that occurred.
-	SyncInstances uint64
+	SyncInstances uint64 `json:"sync_instances"`
 	// InjectedThread and InjectedThreadNth identify, per-thread, the sync
 	// instance an injection removed (InjectedThread is -1 when nothing
 	// fired). Replay passes these back as InjectThread/InjectThreadNth.
-	InjectedThread    int
-	InjectedThreadNth uint64
+	InjectedThread    int    `json:"injected_thread"`
+	InjectedThreadNth uint64 `json:"injected_thread_nth"`
 	// ReadHash fingerprints each thread's sequence of read values; replay
 	// must reproduce it exactly.
-	ReadHash []uint64
+	ReadHash []uint64 `json:"read_hash"`
 	// ThreadInstr is each thread's committed instruction count.
-	ThreadInstr []uint64
+	ThreadInstr []uint64 `json:"thread_instr"`
 	// Mem is the final memory image.
-	Mem *memsys.Memory
+	Mem *memsys.Memory `json:"-"`
 	// Hung reports that the execution deadlocked (possible when injection
 	// removes a barrier-internal primitive); partial results are valid.
-	Hung bool
+	Hung bool `json:"hung"`
 }
 
 // ErrReplayDivergence reports that a replayed execution could not follow the
@@ -203,6 +205,7 @@ type Engine struct {
 	epochIdx   int
 	epochRun   uint32 // instructions committed in the current epoch
 	epochFresh bool   // epoch just began: drain the thread's micro-ops first
+	replayErr  error  // sticky divergence detected while charging quota
 
 	lastAccess trace.Access
 }
@@ -322,6 +325,9 @@ func (e *Engine) Run() (Result, error) {
 		} else {
 			var err error
 			resp, err = e.process(t)
+			if err == nil && e.replayErr != nil {
+				err = e.replayErr
+			}
 			if err != nil {
 				runErr = err
 				break
@@ -611,7 +617,14 @@ func (e *Engine) countSyncInstance(t *threadCtx) bool {
 }
 
 // advance moves t's virtual time and instruction counter, applying jitter,
-// and charges replay epoch quota for committed instructions.
+// and charges replay epoch quota for committed instructions. A request that
+// commits more instructions than the current epoch has left (a Compute(n)
+// straddling a recorded epoch boundary) can only mean the log disagrees with
+// the program: the recorder ends epochs at clock changes, which never occur
+// mid-request. Overrunning instructions must not silently migrate into the
+// next epoch — that would replay them at the wrong logical time — so the
+// overshoot is recorded as a sticky ErrReplayDivergence the run loop
+// surfaces.
 func (e *Engine) advance(t *threadCtx, cost uint64, instrs uint64) {
 	if e.cfg.Jitter > 0 {
 		cost += e.rng.Uint64N(e.cfg.Jitter + 1)
@@ -621,6 +634,10 @@ func (e *Engine) advance(t *threadCtx, cost uint64, instrs uint64) {
 	e.ops += instrs
 	if e.replay && instrs > 0 && e.epochIdx < len(e.epochs) {
 		e.epochRun += uint32(instrs)
+		if ep := e.epochs[e.epochIdx]; e.epochRun > ep.Instr && e.replayErr == nil {
+			e.replayErr = fmt.Errorf("%w: thread %d ran %d instructions in an epoch of %d (log ends mid-request)",
+				ErrReplayDivergence, t.id, e.epochRun, ep.Instr)
+		}
 	}
 }
 

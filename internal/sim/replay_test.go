@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 
 	"cord/internal/memsys"
@@ -121,6 +122,41 @@ func TestReplayDivergenceDetected(t *testing.T) {
 	// at epoch 1... the engine must not loop: either it recovers by
 	// consuming epochs or flags the run.
 	_ = res // reaching here without a test timeout is the assertion
+}
+
+// TestReplayQuotaOvershootDiverges: a log whose epoch boundary falls in the
+// middle of a multi-instruction Compute must surface ErrReplayDivergence —
+// before this check, the overrunning instructions silently migrated into the
+// next epoch and replayed at the wrong logical time.
+func TestReplayQuotaOvershootDiverges(t *testing.T) {
+	prog := Program{
+		Name:    "compute-heavy",
+		Threads: 1,
+		Body: func(th int, env *Env) {
+			env.Compute(10)
+			env.Compute(10)
+		},
+	}
+	// The program commits its 20 instructions in two indivisible batches of
+	// 10, but the (tampered) log claims an epoch ended after 5 of them.
+	epochs := []record.Epoch{
+		{Time: 1, Thread: 0, Instr: 5, Index: 0},
+		{Time: 2, Thread: 0, Instr: 15, Index: 1},
+	}
+	_, err := New(Config{Seed: 1, ReplayEpochs: epochs}, prog).Run()
+	if !errors.Is(err, ErrReplayDivergence) {
+		t.Fatalf("err = %v, want ErrReplayDivergence", err)
+	}
+
+	// A log that honours request boundaries replays the same program cleanly.
+	ok := []record.Epoch{
+		{Time: 1, Thread: 0, Instr: 10, Index: 0},
+		{Time: 2, Thread: 0, Instr: 10, Index: 1},
+	}
+	prog2 := prog
+	if _, err := New(Config{Seed: 1, ReplayEpochs: ok}, prog2).Run(); err != nil {
+		t.Fatalf("aligned log diverged: %v", err)
+	}
 }
 
 // TestMaxOpsGuard: runaway programs abort with an error.
