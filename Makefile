@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench figures json-figures diff-figures clean
+.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures clean
 
 check: fmt vet build test
 
@@ -30,6 +30,19 @@ race:
 # Campaign scaling benchmark: compare procs=1 vs procs=4 lines.
 bench:
 	$(GO) test -bench 'Campaign' -benchtime 3x -run '^$$' ./internal/experiment/
+
+# Measure the perf kernels and the campaign slice, writing the
+# schema-versioned bench/BENCH_perf.json trajectory artifact. Unlike the
+# other BENCH_*.json files this one holds measurements, not simulated
+# results: regenerate it each PR and compare numbers against the previous
+# revision (see EXPERIMENTS.md, "Tracking the performance trajectory").
+bench-json:
+	$(GO) run ./cmd/cordperf -benchtime 300ms -injections 8 -out bench/BENCH_perf.json
+
+# One-iteration smoke pass over the same kernels: proves every benchmark
+# body still runs without measuring anything. Fast enough for CI.
+bench-smoke:
+	$(GO) run ./cmd/cordperf -quick -out /dev/null
 
 # Regenerate the paper's full evaluation (see EXPERIMENTS.md).
 figures:

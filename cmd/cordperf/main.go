@@ -1,0 +1,129 @@
+// Command cordperf measures the simulator's hot-path performance kernels
+// plus a serial campaign slice, and writes the schema-versioned
+// BENCH_perf.json trajectory artifact (see EXPERIMENTS.md, "Tracking the
+// performance trajectory").
+//
+// Unlike the figure artifacts, BENCH_perf.json is a measurement, not a
+// golden: it is regenerated per PR (`make bench-json`) and compared by
+// reading the ns/op, allocs/op and wall-clock numbers against the previous
+// commit's file, not by byte diff.
+//
+// Usage:
+//
+//	cordperf -out bench/BENCH_perf.json
+//	cordperf -quick -out -          # smoke pass, results to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"cord/internal/experiment"
+	"cord/internal/perf"
+	"cord/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	testing.Init() // register -test.* flags so benchtime is settable
+	var (
+		out        = flag.String("out", "-", "write BENCH_perf.json here (- for stdout)")
+		benchtime  = flag.String("benchtime", "1s", "per-kernel measurement budget (Go benchtime syntax, e.g. 200ms or 100x)")
+		quick      = flag.Bool("quick", false, "smoke mode: one iteration per kernel, tiny campaign")
+		injections = flag.Int("injections", 8, "injection runs per app for the campaign slice")
+		appsFlag   = flag.String("apps", "raytrace,lu", "comma-separated campaign apps (empty = skip the campaign slice)")
+		verbose    = flag.Bool("v", false, "print each result as it is measured")
+	)
+	flag.Parse()
+
+	if *injections < 1 {
+		fmt.Fprintf(os.Stderr, "cordperf: -injections must be at least 1, got %d\n", *injections)
+		flag.Usage()
+		return 2
+	}
+	bt := *benchtime
+	if *quick {
+		bt = "1x"
+		if *injections > 2 {
+			*injections = 2
+		}
+	}
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fmt.Fprintf(os.Stderr, "cordperf: bad -benchtime %q: %v\n", bt, err)
+		return 2
+	}
+
+	report := perf.NewReport()
+	for _, k := range Kernels() {
+		br := testing.Benchmark(k.Bench)
+		report.Record(k.Name, br)
+		if *verbose {
+			r := report.Benchmarks[len(report.Benchmarks)-1]
+			fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d allocs/op %10d B/op\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+
+	if *appsFlag != "" {
+		camp, err := runCampaignSlice(strings.Split(*appsFlag, ","), *injections)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cordperf: %v\n", err)
+			return 1
+		}
+		report.Campaign = &camp
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "campaign %v injections=%d: %.1f ms\n",
+				camp.Apps, camp.Injections, camp.WallClockMs)
+		}
+	}
+
+	if err := perf.Write(*out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "cordperf: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// Kernels is the measured suite: the shared perf kernels, in their stable
+// artifact order.
+func Kernels() []perf.Kernel { return perf.Kernels() }
+
+// runCampaignSlice times one serial (Procs: 1) detection campaign — the
+// end-to-end wall-clock the micro-kernels decompose. Serial so the number is
+// comparable across machines with different core counts.
+func runCampaignSlice(appNames []string, injections int) (perf.CampaignPerf, error) {
+	var apps []workload.App
+	for _, name := range appNames {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, err := workload.ByName(name)
+		if err != nil {
+			return perf.CampaignPerf{}, err
+		}
+		apps = append(apps, a)
+	}
+	if len(apps) == 0 {
+		return perf.CampaignPerf{}, fmt.Errorf("no campaign apps selected")
+	}
+	opts := experiment.Options{Apps: apps, Injections: injections, BaseSeed: 0xC0DD, Procs: 1}
+	start := time.Now()
+	if _, err := experiment.RunDetection(opts); err != nil {
+		return perf.CampaignPerf{}, err
+	}
+	elapsed := time.Since(start)
+	camp := perf.CampaignPerf{Injections: injections, Procs: 1,
+		WallClockMs: float64(elapsed.Microseconds()) / 1000}
+	for _, a := range apps {
+		camp.Apps = append(camp.Apps, a.Name)
+	}
+	return camp, nil
+}

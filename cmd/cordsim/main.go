@@ -46,6 +46,22 @@ type detectorSummary struct {
 	ProblemDetected bool   `json:"problem_detected"`
 }
 
+// validateFlags rejects out-of-domain parameters before any simulation work,
+// mirroring cordbench: bad invocations exit 2 with usage instead of failing
+// deep inside a run (or silently simulating a nonsensical configuration).
+func validateFlags(scale, threads, d, races int) error {
+	if scale <= 0 || threads <= 0 {
+		return fmt.Errorf("-scale and -threads must be at least 1")
+	}
+	if d < 1 {
+		return fmt.Errorf("-d must be at least 1 (the paper's sync-read window is a positive count)")
+	}
+	if races < 0 {
+		return fmt.Errorf("-races must be non-negative")
+	}
+	return nil
+}
+
 func run() int {
 	var (
 		appName    = flag.String("app", "raytrace", "application (see -list)")
@@ -62,8 +78,8 @@ func run() int {
 	)
 	flag.Parse()
 
-	if *scale <= 0 || *threads <= 0 {
-		fmt.Fprintf(os.Stderr, "cordsim: -scale and -threads must be at least 1\n")
+	if err := validateFlags(*scale, *threads, *d, *races); err != nil {
+		fmt.Fprintf(os.Stderr, "cordsim: %v\n", err)
 		flag.Usage()
 		return 2
 	}
@@ -133,8 +149,14 @@ func run() int {
 	fmt.Printf("  accesses=%d instructions=%d sync-instances=%d hung=%v\n",
 		res.Accesses, res.Ops, res.SyncInstances, res.Hung)
 	if *inject > 0 {
-		fmt.Printf("  removed instance: thread %d, its %d-th own sync operation\n",
-			res.InjectedThread, res.InjectedThreadNth)
+		if *inject > res.SyncInstances {
+			fmt.Fprintf(os.Stderr,
+				"cordsim: warning: -inject %d exceeds the run's %d dynamic sync instances; nothing was removed\n",
+				*inject, res.SyncInstances)
+		} else {
+			fmt.Printf("  removed instance: thread %d, its %d-th own sync operation\n",
+				res.InjectedThread, res.InjectedThreadNth)
+		}
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

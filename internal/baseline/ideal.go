@@ -60,6 +60,12 @@ type Ideal struct {
 	accesses      uint64
 	pruneInterval uint64
 	peakEntries   int
+
+	// freeVCs recycles the vector-clock storage of pruned history entries.
+	// Every data access clones the thread's vector into its history entry;
+	// without recycling that is the campaign's single largest allocation
+	// site (half of all objects in a detection run).
+	freeVCs []clock.Vector
 }
 
 // NewIdeal builds the oracle for the given thread count.
@@ -156,8 +162,21 @@ func (d *Ideal) onData(a trace.Access, my clock.Vector, rep *trace.Report) {
 		d.raceCount++
 	}
 	d.hist[a.Addr] = append(entries, idealAccess{
-		thread: a.Thread, kind: a.Kind, seq: a.Seq, vc: my.Clone(),
+		thread: a.Thread, kind: a.Kind, seq: a.Seq, vc: d.cloneVC(my),
 	})
+}
+
+// cloneVC copies v into a recycled vector when one is available, and
+// allocates otherwise. History entries own their vectors exclusively, so a
+// vector freed by prune can be reused verbatim.
+func (d *Ideal) cloneVC(v clock.Vector) clock.Vector {
+	if n := len(d.freeVCs); n > 0 {
+		c := d.freeVCs[n-1]
+		d.freeVCs = d.freeVCs[:n-1]
+		copy(c, v)
+		return c
+	}
+	return v.Clone()
 }
 
 // prune recycles history entries that are ordered before every thread's
@@ -177,6 +196,8 @@ func (d *Ideal) prune() {
 		for _, e := range entries {
 			if e.vc[e.thread] > min[e.thread] {
 				out = append(out, e)
+			} else {
+				d.freeVCs = append(d.freeVCs, e.vc)
 			}
 		}
 		if len(out) == 0 {

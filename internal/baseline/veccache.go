@@ -100,6 +100,12 @@ type VecCache struct {
 	reports   int // individual reported conflicts
 	viaMemory int
 	scratch   []vecConflict
+
+	// freeVCs recycles the vectors of displaced history entries (slot
+	// rotation and capacity evictions — the per-access allocation hot spot).
+	// Invalidation-dropped vectors are deliberately not recycled: probe
+	// scratch may still alias them within the current access.
+	freeVCs []clock.Vector
 }
 
 type vecConflict struct {
@@ -215,7 +221,7 @@ func (d *VecCache) OnAccess(a trace.Access) trace.Report {
 	// Stamp locally.
 	if !present {
 		var nl vecLine
-		nl.hist[0] = vecEntry{vc: my.Clone(), valid: true}
+		nl.hist[0] = vecEntry{vc: d.cloneVC(my), valid: true}
 		nl.hist[0].set(word, a.Kind)
 		if v, evicted := d.caches[proc].Insert(line, nl); evicted {
 			d.flushLine(&v.Payload)
@@ -237,20 +243,44 @@ func (d *VecCache) stamp(ls *vecLine, word int, kind trace.Kind, my clock.Vector
 	n := &ls.hist[0]
 	switch {
 	case !n.valid:
-		ls.hist[0] = vecEntry{vc: my.Clone(), valid: true}
+		ls.hist[0] = vecEntry{vc: d.cloneVC(my), valid: true}
 		ls.hist[0].set(word, kind)
 	case vcEqual(n.vc, my):
 		n.set(word, kind)
 	default:
 		if d.cfg.HistDepth >= 2 {
 			d.absorbMem(ls.hist[1])
+			d.freeVC(ls.hist[1])
 			ls.hist[1] = ls.hist[0]
 		} else {
 			d.absorbMem(ls.hist[0])
+			d.freeVC(ls.hist[0])
 			ls.hist[1] = vecEntry{}
 		}
-		ls.hist[0] = vecEntry{vc: my.Clone(), valid: true}
+		ls.hist[0] = vecEntry{vc: d.cloneVC(my), valid: true}
 		ls.hist[0].set(word, kind)
+	}
+}
+
+// cloneVC copies my into a recycled vector when one is available. History
+// entries own their vectors exclusively (Clone on stamp, never shared), so
+// a displaced entry's storage can be reused verbatim.
+func (d *VecCache) cloneVC(my clock.Vector) clock.Vector {
+	if n := len(d.freeVCs); n > 0 {
+		c := d.freeVCs[n-1]
+		d.freeVCs = d.freeVCs[:n-1]
+		copy(c, my)
+		return c
+	}
+	return my.Clone()
+}
+
+// freeVC recycles a displaced entry's vector. Only displacement paths may
+// call it (stamp rotation, flushLine): vectors dropped by invalidation can
+// still be aliased by the probe scratch of the in-flight access.
+func (d *VecCache) freeVC(e vecEntry) {
+	if e.valid && e.vc != nil {
+		d.freeVCs = append(d.freeVCs, e.vc)
 	}
 }
 
@@ -321,6 +351,8 @@ func (d *VecCache) absorbMem(e vecEntry) {
 func (d *VecCache) flushLine(ls *vecLine) {
 	for i := range ls.hist {
 		d.absorbMem(ls.hist[i])
+		d.freeVC(ls.hist[i])
+		ls.hist[i] = vecEntry{}
 	}
 }
 

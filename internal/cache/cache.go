@@ -21,6 +21,57 @@ type entry[P any] struct {
 	payload P
 }
 
+// ubEntry is one line of the unbounded variant. Entries are allocated in
+// arena chunks so payload pointers stay valid for the lifetime of the line
+// (the Lookup contract) without one heap allocation per insert.
+type ubEntry[P any] struct {
+	line    memsys.Line
+	payload P
+	live    bool
+}
+
+// ubChunkLines is the arena chunk size of the unbounded cache.
+const ubChunkLines = 256
+
+// unboundedStore is an insertion-ordered line store: a lookup index over
+// arena-allocated entries plus the insertion-order slice that ForEach and
+// RemoveIf walk. Iteration order is therefore a pure function of the access
+// stream — reproducible across runs and processes — unlike a Go map's
+// randomized range order, which would leak into walker/retirement callback
+// order and break the engine's determinism contract.
+type unboundedStore[P any] struct {
+	index map[memsys.Line]*ubEntry[P]
+	order []*ubEntry[P] // insertion order; removed entries stay as tombstones
+	arena []ubEntry[P]  // current allocation chunk
+	dead  int           // tombstones in order
+}
+
+func (u *unboundedStore[P]) alloc() *ubEntry[P] {
+	if len(u.arena) == 0 {
+		u.arena = make([]ubEntry[P], ubChunkLines)
+	}
+	e := &u.arena[0]
+	u.arena = u.arena[1:]
+	return e
+}
+
+// compact drops tombstones once they outnumber live entries, preserving the
+// relative order of the survivors. Entry pointers are unaffected (only the
+// pointer slice is rebuilt), so amortized cost per removal is O(1).
+func (u *unboundedStore[P]) compact() {
+	if u.dead <= len(u.order)/2 || u.dead < ubChunkLines {
+		return
+	}
+	out := u.order[:0]
+	for _, e := range u.order {
+		if e.live {
+			out = append(out, e)
+		}
+	}
+	u.order = out
+	u.dead = 0
+}
+
 // Cache is a set-associative cache with LRU replacement over lines, carrying
 // a payload P per resident line. A Cache with Ways == 0 is unbounded (fully
 // associative, infinite capacity) — used by the Ideal and InfCache detector
@@ -29,7 +80,7 @@ type Cache[P any] struct {
 	sets      [][]entry[P] // each set is MRU-first
 	ways      int
 	numSets   int
-	unbounded map[memsys.Line]*P
+	unbounded *unboundedStore[P]
 
 	// stats
 	hits, misses, evictions uint64
@@ -79,9 +130,11 @@ func New[P any](cfg Config) *Cache[P] {
 	}
 }
 
-// NewUnbounded returns a cache that never evicts.
+// NewUnbounded returns a cache that never evicts. Its ForEach/RemoveIf
+// iteration order is insertion order (re-inserting a removed line moves it
+// to the end), which keeps every traversal deterministic.
 func NewUnbounded[P any]() *Cache[P] {
-	return &Cache[P]{unbounded: make(map[memsys.Line]*P)}
+	return &Cache[P]{unbounded: &unboundedStore[P]{index: make(map[memsys.Line]*ubEntry[P])}}
 }
 
 // Unbounded reports whether the cache has infinite capacity.
@@ -94,13 +147,12 @@ func (c *Cache[P]) setOf(l memsys.Line) int { return int(uint64(l) % uint64(c.nu
 // removed.
 func (c *Cache[P]) Lookup(l memsys.Line) (*P, bool) {
 	if c.unbounded != nil {
-		p, ok := c.unbounded[l]
-		if ok {
+		if e, ok := c.unbounded.index[l]; ok {
 			c.hits++
-		} else {
-			c.misses++
+			return &e.payload, true
 		}
-		return p, ok
+		c.misses++
+		return nil, false
 	}
 	set := c.sets[c.setOf(l)]
 	for i := range set {
@@ -122,8 +174,10 @@ func (c *Cache[P]) Lookup(l memsys.Line) (*P, bool) {
 // state.
 func (c *Cache[P]) Peek(l memsys.Line) (*P, bool) {
 	if c.unbounded != nil {
-		p, ok := c.unbounded[l]
-		return p, ok
+		if e, ok := c.unbounded.index[l]; ok {
+			return &e.payload, true
+		}
+		return nil, false
 	}
 	set := c.sets[c.setOf(l)]
 	for i := range set {
@@ -137,7 +191,7 @@ func (c *Cache[P]) Peek(l memsys.Line) (*P, bool) {
 // Contains reports residency without touching recency or stats.
 func (c *Cache[P]) Contains(l memsys.Line) bool {
 	if c.unbounded != nil {
-		_, ok := c.unbounded[l]
+		_, ok := c.unbounded.index[l]
 		return ok
 	}
 	for _, e := range c.sets[c.setOf(l)] {
@@ -159,8 +213,15 @@ type Victim[P any] struct {
 // replaces its payload and promotes it (no victim).
 func (c *Cache[P]) Insert(l memsys.Line, payload P) (Victim[P], bool) {
 	if c.unbounded != nil {
-		p := payload
-		c.unbounded[l] = &p
+		u := c.unbounded
+		if e, ok := u.index[l]; ok {
+			e.payload = payload
+			return Victim[P]{}, false
+		}
+		e := u.alloc()
+		*e = ubEntry[P]{line: l, payload: payload, live: true}
+		u.order = append(u.order, e)
+		u.index[l] = e
 		return Victim[P]{}, false
 	}
 	si := c.setOf(l)
@@ -192,12 +253,18 @@ func (c *Cache[P]) Insert(l memsys.Line, payload P) (Victim[P], bool) {
 func (c *Cache[P]) Remove(l memsys.Line) (P, bool) {
 	var zero P
 	if c.unbounded != nil {
-		p, ok := c.unbounded[l]
+		u := c.unbounded
+		e, ok := u.index[l]
 		if !ok {
 			return zero, false
 		}
-		delete(c.unbounded, l)
-		return *p, true
+		delete(u.index, l)
+		e.live = false
+		u.dead++
+		p := e.payload
+		e.payload = zero // release payload references for the GC
+		u.compact()
+		return p, true
 	}
 	si := c.setOf(l)
 	set := c.sets[si]
@@ -214,7 +281,7 @@ func (c *Cache[P]) Remove(l memsys.Line) (P, bool) {
 // Len returns the number of resident lines.
 func (c *Cache[P]) Len() int {
 	if c.unbounded != nil {
-		return len(c.unbounded)
+		return len(c.unbounded.index)
 	}
 	n := 0
 	for _, s := range c.sets {
@@ -223,12 +290,16 @@ func (c *Cache[P]) Len() int {
 	return n
 }
 
-// ForEach visits every resident line. The visit function may mutate the
-// payload through the pointer but must not insert or remove lines.
+// ForEach visits every resident line in a deterministic order — insertion
+// order for the unbounded variant, set-then-recency order for bounded
+// geometries. The visit function may mutate the payload through the pointer
+// but must not insert or remove lines.
 func (c *Cache[P]) ForEach(fn func(l memsys.Line, p *P)) {
 	if c.unbounded != nil {
-		for l, p := range c.unbounded {
-			fn(l, p)
+		for _, e := range c.unbounded.order {
+			if e.live {
+				fn(e.line, &e.payload)
+			}
 		}
 		return
 	}
@@ -240,20 +311,28 @@ func (c *Cache[P]) ForEach(fn func(l memsys.Line, p *P)) {
 }
 
 // RemoveIf deletes every resident line for which pred returns true, invoking
-// onRemove for each removed line. The cache walker (§2.7.5) uses this to
-// retire stale timestamps.
+// onRemove for each removed line. Lines are visited in the same deterministic
+// order as ForEach, so retirement callbacks fire in a reproducible sequence.
+// The cache walker (§2.7.5) uses this to retire stale timestamps.
 func (c *Cache[P]) RemoveIf(pred func(l memsys.Line, p *P) bool, onRemove func(l memsys.Line, p P)) int {
 	removed := 0
 	if c.unbounded != nil {
-		for l, p := range c.unbounded {
-			if pred(l, p) {
-				delete(c.unbounded, l)
-				if onRemove != nil {
-					onRemove(l, *p)
-				}
-				removed++
+		u := c.unbounded
+		var zero P
+		for _, e := range u.order {
+			if !e.live || !pred(e.line, &e.payload) {
+				continue
 			}
+			delete(u.index, e.line)
+			e.live = false
+			u.dead++
+			if onRemove != nil {
+				onRemove(e.line, e.payload)
+			}
+			e.payload = zero
+			removed++
 		}
+		u.compact()
 		return removed
 	}
 	for si, set := range c.sets {

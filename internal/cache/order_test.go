@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"testing"
+
+	"cord/internal/memsys"
+)
+
+// unboundedOrder records one ForEach traversal.
+func unboundedOrder(c *Cache[int]) []memsys.Line {
+	var got []memsys.Line
+	c.ForEach(func(l memsys.Line, _ *int) { got = append(got, l) })
+	return got
+}
+
+// TestUnboundedForEachDeterministicOrder is the regression test for the
+// map-iteration-order bug: ForEach over an unbounded cache must visit lines
+// in insertion order, identically on every traversal. The map-backed
+// implementation followed Go's randomized range order, so repeated walks
+// over the same 64-line cache disagreed with near certainty.
+func TestUnboundedForEachDeterministicOrder(t *testing.T) {
+	c := NewUnbounded[int]()
+	// Insert in a scrambled, non-monotonic line order.
+	var want []memsys.Line
+	for i := 0; i < 64; i++ {
+		l := memsys.Line((i*37 + 11) % 97)
+		c.Insert(l, i)
+		want = append(want, l)
+	}
+	for rep := 0; rep < 10; rep++ {
+		got := unboundedOrder(c)
+		if len(got) != len(want) {
+			t.Fatalf("rep %d: visited %d lines, want %d", rep, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: position %d = %v, want %v (insertion order)", rep, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestUnboundedRemoveIfDeterministicOrder: retirement callbacks (the §2.7.5
+// walker path) must fire in insertion order too.
+func TestUnboundedRemoveIfDeterministicOrder(t *testing.T) {
+	build := func() *Cache[int] {
+		c := NewUnbounded[int]()
+		for i := 0; i < 50; i++ {
+			c.Insert(memsys.Line((i*13+7)%61), i)
+		}
+		return c
+	}
+	var first []memsys.Line
+	for rep := 0; rep < 10; rep++ {
+		c := build()
+		var removedOrder []memsys.Line
+		removed := c.RemoveIf(
+			func(_ memsys.Line, p *int) bool { return *p%2 == 0 },
+			func(l memsys.Line, _ int) { removedOrder = append(removedOrder, l) },
+		)
+		if removed != 25 || len(removedOrder) != 25 {
+			t.Fatalf("rep %d: removed %d (%d callbacks), want 25", rep, removed, len(removedOrder))
+		}
+		if first == nil {
+			first = removedOrder
+			continue
+		}
+		for i := range first {
+			if removedOrder[i] != first[i] {
+				t.Fatalf("rep %d: removal order diverged at %d: %v vs %v", rep, i, removedOrder[i], first[i])
+			}
+		}
+	}
+}
+
+// TestUnboundedReinsertMovesToEnd: removing a line and inserting it again
+// places it at the end of the iteration order (a fresh insertion), and the
+// store survives heavy churn with tombstone compaction.
+func TestUnboundedReinsertMovesToEnd(t *testing.T) {
+	c := NewUnbounded[int]()
+	for i := 0; i < 8; i++ {
+		c.Insert(memsys.Line(i), i)
+	}
+	if _, ok := c.Remove(2); !ok {
+		t.Fatal("remove missed resident line")
+	}
+	c.Insert(2, 99)
+	got := unboundedOrder(c)
+	want := []memsys.Line{0, 1, 3, 4, 5, 6, 7, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order after re-insert: %v, want %v", got, want)
+		}
+	}
+	if p, ok := c.Lookup(2); !ok || *p != 99 {
+		t.Fatal("re-inserted payload lost")
+	}
+
+	// Churn far past the compaction threshold; residency must stay exact.
+	for i := 0; i < 10_000; i++ {
+		l := memsys.Line(i % 64)
+		c.Remove(l)
+		c.Insert(l, i)
+	}
+	if c.Len() != 64 {
+		t.Fatalf("after churn Len = %d, want 64", c.Len())
+	}
+	if got := unboundedOrder(c); len(got) != 64 {
+		t.Fatalf("ForEach visited %d lines after churn, want 64", len(got))
+	}
+}
+
+// TestUnboundedInsertOverwritesInPlace: inserting an already-resident line
+// replaces its payload without disturbing its iteration position.
+func TestUnboundedInsertOverwritesInPlace(t *testing.T) {
+	c := NewUnbounded[int]()
+	c.Insert(1, 10)
+	c.Insert(2, 20)
+	c.Insert(1, 11)
+	got := unboundedOrder(c)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order after overwrite: %v, want [1 2]", got)
+	}
+	if p, _ := c.Lookup(1); *p != 11 {
+		t.Fatalf("payload = %d, want 11", *p)
+	}
+}

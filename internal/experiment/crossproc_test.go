@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// crossProcEnv names the artifact output file when the test binary runs as a
+// campaign helper subprocess instead of as a test.
+const crossProcEnv = "CORD_CROSSPROC_OUT"
+
+// TestCrossProcessHelper is the subprocess side of the cross-process
+// determinism check. Under normal `go test` runs (env var unset) it does
+// nothing. When re-executed by TestCrossProcessDeterminism it runs the
+// fixture detection campaign — all eight detector configurations, the
+// Ideal oracle and the InfCache/L2/L1 vector baselines included — and
+// writes the encoded JSON artifacts to the named file.
+func TestCrossProcessHelper(t *testing.T) {
+	out := os.Getenv(crossProcEnv)
+	if out == "" {
+		t.Skip("not running as a cross-process helper")
+	}
+	o := twoAppOpts(2)
+	meta := o.Meta()
+	res, err := RunDetection(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, f := range []Figure{res.Fig10(), res.Fig12(), res.Fig16()} {
+		a := FigureArtifact(f, meta)
+		b, err := a.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", a.ID, err)
+		}
+		fmt.Fprintf(&buf, "== %s ==\n", a.ID)
+		buf.Write(b)
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossProcessDeterminism is the strongest form of the determinism
+// contract: two fresh OS processes running the same campaign must produce
+// byte-identical JSON artifacts. In-process repetition cannot catch
+// per-process nondeterminism — Go randomizes map iteration order per
+// process, so a map-ordered traversal anywhere on the result path (the bug
+// this PR's ordered structures remove) passes every same-process comparison
+// and still diverges here.
+func TestCrossProcessDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns two campaign subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	outs := make([][]byte, 2)
+	for i := range outs {
+		path := filepath.Join(dir, fmt.Sprintf("artifacts.%d", i))
+		cmd := exec.Command(exe, "-test.run=^TestCrossProcessHelper$", "-test.count=1")
+		cmd.Env = append(os.Environ(), crossProcEnv+"="+path)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("helper run %d: %v\n%s", i, err, b)
+		}
+		outs[i], err = os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("helper run %d wrote no artifacts: %v", i, err)
+		}
+		if len(outs[i]) == 0 {
+			t.Fatalf("helper run %d wrote empty artifacts", i)
+		}
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("artifacts differ between two fresh processes:\nrun 0:\n%s\nrun 1:\n%s", outs[0], outs[1])
+	}
+}

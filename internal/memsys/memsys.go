@@ -45,36 +45,79 @@ func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
 // String renders the line in hex with its byte base.
 func (l Line) String() string { return fmt.Sprintf("line:0x%x", uint64(LineBase(l))) }
 
-// Memory is a sparse word-granularity value store. The zero value is an
-// all-zero memory ready for use. Memory is not safe for concurrent use; the
-// simulator serializes all accesses.
+// Memory page geometry: the store is a lazily-allocated array of fixed-size
+// pages indexed by Addr >> PageShift. 4 KB pages keep the page table small
+// for the compact address spaces the Allocator hands out while making the
+// common Load/Store a shift, two bounds checks, and an array index — no
+// hashing on the simulator's hottest path.
+const (
+	// PageShift is log2 of the page size in bytes.
+	PageShift = 12
+	// PageBytes is the size of one memory page.
+	PageBytes = 1 << PageShift
+	// PageWords is the number of words one page holds.
+	PageWords = PageBytes / WordBytes
+)
+
+type page [PageWords]uint64
+
+// Memory is a word-granularity value store over a paged flat address space:
+// pages are allocated lazily on first store, and absent pages read as zero.
+// The zero value is an all-zero memory ready for use. Memory is not safe for
+// concurrent use; the simulator serializes all accesses.
+//
+// Unlike a map-backed store, every traversal (Snapshot, ForEachWord, Equal)
+// visits words in ascending address order, so memory-image dumps and
+// comparisons are reproducible byte for byte across runs and processes.
 type Memory struct {
-	words map[Addr]uint64
+	pages   []*page
+	nonzero int // distinct words currently holding a non-zero value
 }
 
 // NewMemory returns an empty (all-zero) memory.
-func NewMemory() *Memory { return &Memory{words: make(map[Addr]uint64)} }
+func NewMemory() *Memory { return &Memory{} }
 
 // Load returns the value of the word at a (a is word-aligned by the caller;
 // stray offset bits are masked off).
 func (m *Memory) Load(a Addr) uint64 {
-	if m.words == nil {
+	pi := a >> PageShift
+	if pi >= Addr(len(m.pages)) {
 		return 0
 	}
-	return m.words[WordAlign(a)]
+	p := m.pages[pi]
+	if p == nil {
+		return 0
+	}
+	return p[(a%PageBytes)/WordBytes]
 }
 
 // Store writes v to the word at a.
 func (m *Memory) Store(a Addr, v uint64) {
-	if m.words == nil {
-		m.words = make(map[Addr]uint64)
+	pi := a >> PageShift
+	if pi >= Addr(len(m.pages)) {
+		if v == 0 {
+			return // storing zero over an untouched word changes nothing
+		}
+		grown := make([]*page, pi+1)
+		copy(grown, m.pages)
+		m.pages = grown
 	}
-	a = WordAlign(a)
-	if v == 0 {
-		delete(m.words, a) // keep the map sparse; absent means zero
-		return
+	p := m.pages[pi]
+	if p == nil {
+		if v == 0 {
+			return
+		}
+		p = new(page)
+		m.pages[pi] = p
 	}
-	m.words[a] = v
+	w := &p[(a%PageBytes)/WordBytes]
+	switch {
+	case *w == 0 && v != 0:
+		m.nonzero++
+	case *w != 0 && v == 0:
+		m.nonzero--
+	}
+	*w = v
 }
 
 // Add atomically (from the simulation's point of view) adds delta to the word
@@ -85,30 +128,65 @@ func (m *Memory) Add(a Addr, delta uint64) uint64 {
 	return v
 }
 
-// Footprint returns the number of distinct non-zero words ever stored.
-func (m *Memory) Footprint() int { return len(m.words) }
+// Footprint returns the number of distinct words currently holding a
+// non-zero value.
+func (m *Memory) Footprint() int { return m.nonzero }
+
+// ForEachWord visits every non-zero word in ascending address order — the
+// paged layout's natural order, identical across runs and processes. Dump
+// and comparison paths build on it so printed memory images are stable.
+func (m *Memory) ForEachWord(fn func(a Addr, v uint64)) {
+	for pi, p := range m.pages {
+		if p == nil {
+			continue
+		}
+		base := Addr(pi) << PageShift
+		for w, v := range p {
+			if v != 0 {
+				fn(base+Addr(w*WordBytes), v)
+			}
+		}
+	}
+}
+
+// WordValue is one non-zero word of a memory image.
+type WordValue struct {
+	Addr  Addr
+	Value uint64
+}
+
+// Words returns every non-zero word in ascending address order.
+func (m *Memory) Words() []WordValue {
+	out := make([]WordValue, 0, m.nonzero)
+	m.ForEachWord(func(a Addr, v uint64) {
+		out = append(out, WordValue{Addr: a, Value: v})
+	})
+	return out
+}
 
 // Snapshot returns a copy of all non-zero words, for end-of-run comparison
 // between recorded and replayed executions.
 func (m *Memory) Snapshot() map[Addr]uint64 {
-	out := make(map[Addr]uint64, len(m.words))
-	for a, v := range m.words {
-		out[a] = v
-	}
+	out := make(map[Addr]uint64, m.nonzero)
+	m.ForEachWord(func(a Addr, v uint64) { out[a] = v })
 	return out
 }
 
-// Equal reports whether two memories hold identical contents.
+// Equal reports whether two memories hold identical contents (the all-zero
+// background included: pages never written compare equal to zeroed pages).
 func (m *Memory) Equal(o *Memory) bool {
-	if len(m.words) != len(o.words) {
+	if m.nonzero != o.nonzero {
 		return false
 	}
-	for a, v := range m.words {
-		if o.words[a] != v {
-			return false
+	equal := true
+	m.ForEachWord(func(a Addr, v uint64) {
+		if o.Load(a) != v {
+			equal = false
 		}
-	}
-	return true
+	})
+	// Same non-zero count and every non-zero word of m matches o, so o
+	// cannot hold extra non-zero words anywhere.
+	return equal
 }
 
 // Region is a contiguous, line-aligned span of the address space handed out

@@ -1,0 +1,247 @@
+// Package perf defines the repository's performance-kernel benchmarks and
+// the schema-versioned BENCH_perf.json artifact that records their results.
+//
+// The kernels isolate the simulator's hot paths — the memsys access path,
+// the cache structures, the detector OnAccess pipelines, and a full engine
+// run — so that a data-structure or algorithm change shows up as a ns/op and
+// allocs/op delta rather than only as campaign wall-clock noise. The same
+// kernels back three entry points:
+//
+//   - `go test -bench 'Kernel' ./internal/perf` for interactive work,
+//   - cmd/cordperf, which runs every kernel plus a campaign slice and writes
+//     the BENCH_perf.json trajectory artifact (see `make bench-json`),
+//   - a cheap smoke test that executes every kernel body once under plain
+//     `go test ./...` so a broken kernel cannot hide until the next bench run.
+package perf
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"cord/internal/baseline"
+	"cord/internal/cache"
+	"cord/internal/core"
+	"cord/internal/memsys"
+	"cord/internal/sim"
+	"cord/internal/trace"
+)
+
+// Kernel is one hot-path micro-benchmark. Setup builds the state under test
+// and returns the per-iteration body; the body must be safe to call any
+// number of times with increasing i.
+type Kernel struct {
+	Name  string
+	Setup func() func(i int)
+}
+
+// Bench adapts a kernel to the testing harness: setup outside the timer,
+// allocation reporting on.
+func (k Kernel) Bench(b *testing.B) {
+	body := k.Setup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body(i)
+	}
+}
+
+// Kernels returns the full suite in stable order (the order BENCH_perf.json
+// records them in).
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "memsys/store-load", Setup: setupMemsysDense},
+		{Name: "memsys/sparse-load", Setup: setupMemsysSparse},
+		{Name: "cache/bounded-churn", Setup: setupCacheBounded},
+		{Name: "cache/unbounded-churn", Setup: setupCacheUnbounded},
+		{Name: "detector/bounded", Setup: setupDetectorBounded},
+		{Name: "detector/unbounded", Setup: setupDetectorUnbounded},
+		{Name: "baseline/vec-infcache", Setup: setupVecInf},
+		{Name: "baseline/ideal", Setup: setupIdeal},
+		{Name: "engine/lock-ping", Setup: setupEngine},
+	}
+}
+
+// setupMemsysDense exercises the word store the way workload inner loops do:
+// word-stride stores and loads over a multi-page working set.
+func setupMemsysDense() func(i int) {
+	m := memsys.NewMemory()
+	const words = 1 << 14 // 64 KB of simulated memory
+	return func(i int) {
+		a := memsys.Addr(memsys.LineBytes + (i%words)*memsys.WordBytes)
+		m.Store(a, uint64(i)|1)
+		if m.Load(a) == 0 {
+			panic("perf: lost store")
+		}
+	}
+}
+
+// setupMemsysSparse exercises the miss path: loads scattered over a wide
+// address range where almost every word is zero.
+func setupMemsysSparse() func(i int) {
+	m := memsys.NewMemory()
+	const span = 1 << 22 // 4 MB address span
+	for w := 0; w < span/memsys.WordBytes; w += 1024 {
+		m.Store(memsys.Addr(memsys.LineBytes+w*memsys.WordBytes), uint64(w+1))
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	addrs := make([]memsys.Addr, 4096)
+	for j := range addrs {
+		addrs[j] = memsys.Addr(memsys.LineBytes + rng.Uint64N(span))
+	}
+	var sink uint64
+	return func(i int) {
+		sink += m.Load(addrs[i%len(addrs)])
+	}
+}
+
+// setupCacheBounded churns a paper-geometry L2 (32 KB, 8-way) with a working
+// set twice its capacity: every access is a lookup plus, on miss, an insert
+// with eviction.
+func setupCacheBounded() func(i int) {
+	c := cache.New[uint64](cache.Config{SizeBytes: 32 << 10, Ways: 8})
+	lines := 2 * (32 << 10) / memsys.LineBytes
+	return func(i int) {
+		l := memsys.Line(i % lines)
+		if p, ok := c.Lookup(l); ok {
+			*p++
+			return
+		}
+		c.Insert(l, uint64(i))
+	}
+}
+
+// setupCacheUnbounded mirrors the InfCache detector pattern: lookups and
+// inserts over a growing line set, invalidations of a rotating victim, and a
+// periodic full walk (the §2.7.5 cache walker).
+func setupCacheUnbounded() func(i int) {
+	c := cache.NewUnbounded[uint64]()
+	const lines = 1 << 12
+	var sink uint64
+	return func(i int) {
+		l := memsys.Line(i % lines)
+		if p, ok := c.Lookup(l); ok {
+			*p++
+		} else {
+			c.Insert(l, uint64(i))
+		}
+		if i%8 == 7 {
+			c.Remove(memsys.Line((i * 2654435761) % lines))
+		}
+		if i%4096 == 4095 {
+			c.ForEach(func(_ memsys.Line, p *uint64) { sink += *p })
+		}
+	}
+}
+
+// accessStream builds a deterministic synthetic access stream with the mix a
+// detector sees in practice: mostly data reads/writes across a multi-line
+// working set shared by all threads, with periodic synchronization accesses.
+func accessStream(threads, n int) []trace.Access {
+	rng := rand.New(rand.NewPCG(42, 43))
+	accs := make([]trace.Access, n)
+	instr := make([]uint64, threads)
+	const lines = 1 << 10
+	for i := range accs {
+		t := i % threads
+		a := trace.Access{
+			Seq:    uint64(i),
+			Thread: t,
+			Proc:   t,
+			Instr:  instr[t],
+			Instrs: 1,
+		}
+		// The sync modulus is coprime to the thread count so the sync ops
+		// rotate over every thread. If one thread never synchronized, the
+		// Ideal oracle could never prune its history and the kernel's
+		// footprint would grow without bound across benchmark iterations.
+		switch {
+		case i%67 == 66: // sync release
+			a.Class, a.Kind = trace.Sync, trace.Write
+			a.Addr = memsys.Addr(memsys.LineBytes * (1 + uint64(t)))
+		case i%67 == 33: // sync acquire
+			a.Class, a.Kind = trace.Sync, trace.Read
+			a.Addr = memsys.Addr(memsys.LineBytes * (1 + uint64((t+1)%threads)))
+		default:
+			a.Class = trace.Data
+			if rng.Uint64N(4) == 0 {
+				a.Kind = trace.Write
+			}
+			line := 16 + rng.Uint64N(lines)
+			word := rng.Uint64N(memsys.WordsPerLine)
+			a.Addr = memsys.WordAddr(memsys.Line(line), int(word))
+		}
+		instr[t]++
+		accs[i] = a
+	}
+	return accs
+}
+
+func observerKernel(obs trace.Observer) func(i int) {
+	accs := accessStream(4, 1<<14)
+	return func(i int) {
+		obs.OnAccess(accs[i%len(accs)])
+	}
+}
+
+// The detector kernels run with recording off: on this deliberately racy
+// stream nearly every access changes a clock, so the order log would grow
+// with the iteration count and the kernel's footprint would be unbounded.
+// The log-append path is priced end to end by engine/lock-ping instead.
+
+func setupDetectorBounded() func(i int) {
+	cfg := core.DefaultConfig()
+	cfg.Record = false
+	return observerKernel(core.New(cfg))
+}
+
+func setupDetectorUnbounded() func(i int) {
+	cfg := core.DefaultConfig()
+	cfg.Record = false
+	cfg.Unbounded = true
+	return observerKernel(core.New(cfg))
+}
+
+func setupVecInf() func(i int) {
+	return observerKernel(baseline.NewVecCache(baseline.VecConfig{Threads: 4, Procs: 4, Bound: baseline.BoundInf}))
+}
+
+func setupIdeal() func(i int) {
+	return observerKernel(baseline.NewIdeal(4))
+}
+
+// setupEngine runs a complete small execution per iteration: two threads
+// ping-ponging a lock-protected counter. This prices the engine's scheduler
+// handoff and access delivery end to end, with a CORD detector attached.
+func setupEngine() func(i int) {
+	return func(i int) {
+		var lock, ctr memsys.Addr
+		prog := sim.Program{
+			Name:    "perf-lock-ping",
+			Threads: 2,
+			Init:    func(mem *memsys.Memory) {},
+			Body: func(t int, env *sim.Env) {
+				for k := 0; k < 64; k++ {
+					env.Lock(lock)
+					env.Write(ctr, env.Read(ctr)+1)
+					env.Unlock(lock)
+					env.Compute(3)
+				}
+			},
+		}
+		lock = memsys.Addr(memsys.LineBytes)
+		ctr = memsys.Addr(2 * memsys.LineBytes)
+		det := core.New(core.Config{Threads: 2, Procs: 2, D: 16, Record: true})
+		res, err := sim.New(sim.Config{
+			Seed:      uint64(i + 1),
+			Procs:     2,
+			Observers: []trace.Observer{det},
+			Primary:   det,
+		}, prog).Run()
+		if err != nil {
+			panic(err)
+		}
+		if res.Mem.Load(ctr) != 128 {
+			panic("perf: lock-ping lost updates")
+		}
+	}
+}

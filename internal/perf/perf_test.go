@@ -1,0 +1,61 @@
+package perf
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestKernelsSmoke executes every kernel body a few iterations under the
+// plain test suite, so a kernel that panics or regresses API-wise fails
+// tier-1 immediately instead of waiting for the next bench run.
+func TestKernelsSmoke(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kernels() {
+		if k.Name == "" || seen[k.Name] {
+			t.Fatalf("kernel name %q empty or duplicated", k.Name)
+		}
+		seen[k.Name] = true
+		body := k.Setup()
+		for i := 0; i < 3; i++ {
+			body(i)
+		}
+	}
+}
+
+// BenchmarkKernel exposes the suite to `go test -bench`. CI runs it with
+// -benchtime=1x as a smoke pass; use larger benchtimes for real measurement.
+func BenchmarkKernel(b *testing.B) {
+	for _, k := range Kernels() {
+		b.Run(k.Name, k.Bench)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport()
+	r.Benchmarks = append(r.Benchmarks, BenchResult{
+		Name: "memsys/store-load", Iterations: 1000, NsPerOp: 12.5, AllocsPerOp: 0, BytesPerOp: 0,
+	})
+	r.Campaign = &CampaignPerf{Apps: []string{"raytrace"}, Injections: 2, Procs: 1, WallClockMs: 321.5}
+
+	path := filepath.Join(t.TempDir(), "BENCH_perf.json")
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", r, got)
+	}
+}
+
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	if _, err := Decode([]byte(`{"schema": 999, "kind": "perf"}`)); err == nil {
+		t.Fatal("schema 999 accepted")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -368,6 +368,8 @@ func (e *Engine) Run() (Result, error) {
 		Hung:              hung,
 		InjectedThread:    e.injThread,
 		InjectedThreadNth: e.injNth,
+		ReadHash:          make([]uint64, 0, len(e.threads)),
+		ThreadInstr:       make([]uint64, 0, len(e.threads)),
 	}
 	for _, t := range e.threads {
 		if t.vtime > res.Cycles {
