@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures clean
+.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures serve loadtest smoke-service clean
 
 check: fmt vet build test
 
@@ -59,6 +59,26 @@ json-figures:
 # Gate a fresh run against the committed baselines; non-zero exit on drift.
 diff-figures:
 	$(GO) run ./cmd/cordbench $(GOLDEN_FLAGS) -diff bench
+
+# Run the cordd race-detection service in the foreground (see README,
+# "Running the service"). Override the listen address with ADDR=:9090.
+ADDR ?= :8080
+
+serve:
+	$(GO) run ./cmd/cordd -addr $(ADDR)
+
+# Concurrent-client sweep against a running cordd (start one with `make
+# serve` first). Parameters follow EXPERIMENTS.md, "Load-testing the
+# service"; override with LOAD_FLAGS.
+LOAD_FLAGS ?= -sweep 1,2,4,8 -n 16 -app fft -scale 2
+
+loadtest:
+	$(GO) run ./cmd/cordload -addr http://127.0.0.1$(ADDR) $(LOAD_FLAGS)
+
+# End-to-end service smoke: build cordd, start it, run one detect and one
+# replay session over HTTP, SIGTERM, assert a clean drain. CI runs this.
+smoke-service:
+	sh scripts/service-smoke.sh
 
 clean:
 	$(GO) clean ./...

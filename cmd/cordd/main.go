@@ -1,0 +1,124 @@
+// Command cordd is the CORD race-detection service: a long-running HTTP
+// server that executes detection and replay sessions on a bounded worker
+// pool (see internal/server for the API).
+//
+// Usage:
+//
+//	cordd -addr :8080 -workers 4 -queue 16 -timeout 60s
+//
+// Endpoints: POST /v1/detect, POST /v1/replay, GET /healthz, GET /metrics.
+// SIGINT/SIGTERM drain in-flight sessions before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cord/internal/server"
+)
+
+// validateFlags rejects out-of-domain service parameters before binding the
+// socket, mirroring the other cord binaries: bad invocations exit 2 with
+// usage instead of failing at the first request.
+func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int64) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be at least 1 (or 0 for NumCPU)")
+	}
+	if queue < 1 {
+		return fmt.Errorf("-queue must be at least 1")
+	}
+	if timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive")
+	}
+	if drain <= 0 {
+		return fmt.Errorf("-drain must be positive")
+	}
+	if maxBody < 1 {
+		return fmt.Errorf("-max-body must be at least 1 byte")
+	}
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent sessions (0 = NumCPU)")
+		queue   = flag.Int("queue", 16, "queued sessions beyond the running ones")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-session execution timeout")
+		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		maxBody = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*workers, *queue, *timeout, *drain, *maxBody); err != nil {
+		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SessionTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cordd: listening on %s (workers=%d queue=%d timeout=%v)",
+			*addr, srv.Metrics().Workers, *queue, *timeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure here (Shutdown is not yet
+		// in play): bad address, occupied port, ...
+		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	log.Printf("cordd: signal received, draining (budget %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections and wait for in-flight handlers; handlers
+	// in turn wait for their sessions, so this is the outer half of the
+	// drain. Then retire the worker pool.
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "cordd: http shutdown: %v\n", err)
+		return 1
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
+		return 1
+	}
+	m := srv.Metrics()
+	log.Printf("cordd: drained cleanly (%d sessions completed, %d rejected)",
+		m.Sessions.Completed, m.Sessions.RejectedQueueFull+m.Sessions.RejectedDraining)
+	return 0
+}

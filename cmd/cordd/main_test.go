@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestValidateFlags: degenerate service parameters must be rejected up front
+// with a usage error instead of a half-configured server.
+func TestValidateFlags(t *testing.T) {
+	s := time.Second
+	cases := []struct {
+		name    string
+		workers int
+		queue   int
+		timeout time.Duration
+		drain   time.Duration
+		maxBody int64
+		wantErr bool
+	}{
+		{"defaults", 0, 16, 60 * s, 30 * s, 8 << 20, false},
+		{"explicit workers", 4, 1, s, s, 1, false},
+		{"negative workers", -1, 16, s, s, 1 << 20, true},
+		{"zero queue", 4, 0, s, s, 1 << 20, true},
+		{"negative queue", 4, -3, s, s, 1 << 20, true},
+		{"zero timeout", 4, 16, 0, s, 1 << 20, true},
+		{"negative timeout", 4, 16, -s, s, 1 << 20, true},
+		{"zero drain", 4, 16, s, 0, 1 << 20, true},
+		{"zero max body", 4, 16, s, s, 0, true},
+		{"negative max body", 4, 16, s, s, -1, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.workers, tc.queue, tc.timeout, tc.drain, tc.maxBody)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}

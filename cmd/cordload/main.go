@@ -1,0 +1,226 @@
+// Command cordload drives a running cordd with a concurrent-client sweep
+// and reports throughput and latency per stage — the load-testing workflow
+// of EXPERIMENTS.md. It is a pure stdlib client: point it at any cordd.
+//
+// Usage:
+//
+//	cordd -addr :8080 &
+//	cordload -addr http://127.0.0.1:8080 -sweep 1,2,4,8 -n 32 -app fft
+//
+// Each stage issues -n detect sessions (seeds base, base+1, ...) from the
+// stage's client count and prints wall-clock, requests/s and latency
+// quantiles; 429 responses are counted separately so backpressure is
+// visible, not fatal. The final section echoes the server's /metrics
+// session counters.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// detectRequest mirrors server.DetectRequest; cordload speaks the wire
+// format only, so it can be built and pointed at any cordd without version
+// coupling.
+type detectRequest struct {
+	App     string `json:"app"`
+	Seed    uint64 `json:"seed"`
+	Scale   int    `json:"scale,omitempty"`
+	Threads int    `json:"threads,omitempty"`
+	D       int    `json:"d,omitempty"`
+}
+
+// parseSweep parses a comma-separated list of client counts.
+func parseSweep(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-sweep must name at least one client count")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-sweep entry %q: %v", part, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("-sweep entry %d: client counts must be at least 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// validateFlags rejects out-of-domain load parameters up front (exit 2 +
+// usage), like every other cord binary.
+func validateFlags(n, scale, threads, d int) error {
+	if n < 1 {
+		return fmt.Errorf("-n must be at least 1")
+	}
+	if scale < 1 {
+		return fmt.Errorf("-scale must be at least 1")
+	}
+	if threads < 1 {
+		return fmt.Errorf("-threads must be at least 1")
+	}
+	if d < 1 {
+		return fmt.Errorf("-d must be at least 1")
+	}
+	return nil
+}
+
+type stageResult struct {
+	clients   int
+	ok        int
+	backoff   int // 429s
+	errors    int
+	wall      time.Duration
+	latencies []time.Duration
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "base URL of the cordd to load")
+		app     = flag.String("app", "fft", "application for the detect sessions")
+		seed    = flag.Uint64("seed", 1, "base seed; request i uses seed+i")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		threads = flag.Int("threads", 4, "simulated threads")
+		d       = flag.Int("d", 16, "CORD sync-read window D")
+		n       = flag.Int("n", 32, "requests per sweep stage")
+		sweep   = flag.String("sweep", "1,2,4,8", "comma-separated concurrent-client counts")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*n, *scale, *threads, *d); err != nil {
+		fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+	stages, err := parseSweep(*sweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if _, err := fetch(client, *addr+"/healthz"); err != nil {
+		fmt.Fprintf(os.Stderr, "cordload: server not healthy: %v\n", err)
+		return 1
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "clients\tok\t429\terrors\twall\treq/s\tp50\tp95\tmax")
+	for _, c := range stages {
+		res := runStage(client, *addr, c, *n, detectRequest{
+			App: *app, Seed: *seed, Scale: *scale, Threads: *threads, D: *d,
+		})
+		sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+		rps := float64(res.ok) / res.wall.Seconds()
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2fs\t%.1f\t%s\t%s\t%s\n",
+			res.clients, res.ok, res.backoff, res.errors, res.wall.Seconds(), rps,
+			quantile(res.latencies, 0.50).Round(time.Millisecond),
+			quantile(res.latencies, 0.95).Round(time.Millisecond),
+			quantile(res.latencies, 1.00).Round(time.Millisecond))
+		w.Flush()
+		if res.errors > 0 {
+			fmt.Fprintf(os.Stderr, "cordload: stage %d finished with %d hard errors\n", c, res.errors)
+		}
+	}
+
+	metrics, err := fetch(client, *addr+"/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordload: fetching /metrics: %v\n", err)
+		return 1
+	}
+	fmt.Println("\nserver /metrics after the sweep:")
+	os.Stdout.Write(metrics)
+	return 0
+}
+
+// runStage issues n detect sessions from c concurrent clients; request i
+// uses seed base+i so every session is distinct work.
+func runStage(client *http.Client, addr string, c, n int, base detectRequest) stageResult {
+	res := stageResult{clients: c}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < c; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				req := base
+				req.Seed += uint64(i)
+				body, _ := json.Marshal(req)
+				t0 := time.Now()
+				resp, err := client.Post(addr+"/v1/detect", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					res.errors++
+				case resp.StatusCode == http.StatusOK:
+					res.ok++
+					res.latencies = append(res.latencies, lat)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					res.backoff++
+				default:
+					res.errors++
+				}
+				mu.Unlock()
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	return res
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return b, nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestValidateFlags: load parameters must be rejected before the sweep
+// starts hammering a server with nonsense.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		scale   int
+		threads int
+		d       int
+		wantErr bool
+	}{
+		{"defaults", 32, 1, 4, 16, false},
+		{"minimal", 1, 1, 1, 1, false},
+		{"zero n", 0, 1, 4, 16, true},
+		{"negative n", -5, 1, 4, 16, true},
+		{"zero scale", 32, 0, 4, 16, true},
+		{"zero threads", 32, 1, 0, 16, true},
+		{"zero d", 32, 1, 4, 0, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.n, tc.scale, tc.threads, tc.d)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	got, err := parseSweep("1, 2,8")
+	if err != nil {
+		t.Fatalf("parseSweep: %v", err)
+	}
+	want := []int{1, 2, 8}
+	if len(got) != len(want) {
+		t.Fatalf("parseSweep = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSweep = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "  ", "0", "1,x", "1,,2", "-4"} {
+		if _, err := parseSweep(bad); err == nil {
+			t.Errorf("parseSweep(%q): expected error", bad)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.95); q != 0 {
+		t.Fatalf("quantile(nil) = %v, want 0", q)
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 1.0); q != 10 {
+		t.Fatalf("quantile(max) = %v, want 10", q)
+	}
+	if q := quantile(sorted, 0.0); q != 1 {
+		t.Fatalf("quantile(min) = %v, want 1", q)
+	}
+}

@@ -18,28 +18,50 @@ import (
 	"cord/internal/record"
 )
 
+// validateFlags rejects out-of-domain parameters up front (exit 2 + usage),
+// in line with cordsim/cordbench: -n 0 legitimately dumps nothing, but a
+// negative count or a zero thread bound is an invocation error.
+func validateFlags(n, threads int) error {
+	if n < 0 {
+		return fmt.Errorf("-n must be non-negative")
+	}
+	if threads < 1 {
+		return fmt.Errorf("-threads must be at least 1")
+	}
+	return nil
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		dump    = flag.Bool("dump", false, "dump raw entries")
 		n       = flag.Int("n", 50, "max entries to dump")
 		threads = flag.Int("threads", 64, "thread-count bound for the schedule")
 	)
 	flag.Parse()
+	if err := validateFlags(*n, *threads); err != nil {
+		fmt.Fprintf(os.Stderr, "cordlog: %v\n", err)
+		flag.Usage()
+		return 2
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cordlog [-dump] [-n N] <logfile>")
-		os.Exit(2)
+		return 2
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cordlog: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	defer f.Close()
 	log, err := record.DecodeFrom(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cordlog: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("%s: %d entries, %d bytes payload\n", flag.Arg(0), log.Len(), log.SizeBytes())
@@ -93,4 +115,5 @@ func main() {
 			fmt.Printf("%4d %v\n", i, e)
 		}
 	}
+	return 0
 }

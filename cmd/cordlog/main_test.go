@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestValidateFlags: a negative dump count or a non-positive thread bound is
+// an invocation error (exit 2 + usage), matching the other cord binaries.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		threads int
+		wantErr bool
+	}{
+		{"defaults", 50, 64, false},
+		{"zero n dumps nothing", 0, 64, false},
+		{"single thread bound", 50, 1, false},
+		{"negative n", -1, 64, true},
+		{"zero threads", 50, 0, true},
+		{"negative threads", 50, -8, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.n, tc.threads)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags(%d, %d) = %v, wantErr=%v",
+				tc.name, tc.n, tc.threads, err, tc.wantErr)
+		}
+	}
+}

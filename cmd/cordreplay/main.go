@@ -18,7 +18,24 @@ import (
 	"cord/internal/record"
 )
 
+// validateFlags rejects out-of-domain parameters before any simulation work,
+// in line with cordsim/cordbench: bad invocations exit 2 with usage instead
+// of failing deep inside a run.
+func validateFlags(scale, d int) error {
+	if scale < 1 {
+		return fmt.Errorf("-scale must be at least 1")
+	}
+	if d < 1 {
+		return fmt.Errorf("-d must be at least 1 (the paper's sync-read window is a positive count)")
+	}
+	return nil
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		appName = flag.String("app", "fft", "application to record and replay")
 		seed    = flag.Uint64("seed", 1, "scheduling seed")
@@ -29,6 +46,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*scale, *d); err != nil {
+		fmt.Fprintf(os.Stderr, "cordreplay: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+
 	var app cord.App
 	found := false
 	for _, a := range cord.Apps() {
@@ -38,7 +61,7 @@ func main() {
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "cordreplay: unknown application %q\n", *appName)
-		os.Exit(2)
+		return 2
 	}
 
 	out, err := cord.RecordAndReplay(app.Build(*scale, 4), cord.ReplayOptions{
@@ -46,7 +69,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cordreplay: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("recorded: %d accesses, %d instructions, %d cycles\n",
@@ -59,39 +82,40 @@ func main() {
 		f, err := os.Create(*logPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cordreplay: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := out.Log.EncodeTo(f); err != nil {
 			fmt.Fprintf(os.Stderr, "cordreplay: writing log: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "cordreplay: closing log: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		// Round-trip through the binary format as a sanity check.
 		rf, err := os.Open(*logPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cordreplay: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		reread, err := record.DecodeFrom(rf)
 		rf.Close()
 		if err != nil || reread.Len() != out.Log.Len() {
 			fmt.Fprintf(os.Stderr, "cordreplay: log round-trip failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("log written to %s and decoded back (%d entries)\n", *logPath, reread.Len())
 	}
 
 	if out.Recorded.Hung {
 		fmt.Println("recorded run deadlocked (injection artifact) — nothing to replay")
-		return
+		return 0
 	}
 	if out.Match {
 		fmt.Println("replay: EXACT — per-thread read values, instruction counts and final memory all match")
 	} else {
 		fmt.Printf("replay: MISMATCH — %s\n", out.Mismatch)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

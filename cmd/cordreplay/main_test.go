@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestValidateFlags: out-of-domain workload parameters are invocation errors
+// (exit 2 + usage), matching cordsim/cordbench.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		scale   int
+		d       int
+		wantErr bool
+	}{
+		{"defaults", 1, 16, false},
+		{"large scale", 4096, 1, false},
+		{"zero scale", 0, 16, true},
+		{"negative scale", -2, 16, true},
+		{"zero d", 1, 0, true},
+		{"negative d", 1, -16, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.scale, tc.d)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags(%d, %d) = %v, wantErr=%v",
+				tc.name, tc.scale, tc.d, err, tc.wantErr)
+		}
+	}
+}

@@ -17,33 +17,11 @@ import (
 	"text/tabwriter"
 
 	"cord"
+	"cord/internal/server"
 )
 
 func main() {
 	os.Exit(run())
-}
-
-// runSummary is the machine-readable view of one simulation: the engine
-// result plus each detector's verdict and CORD's activity counters, under
-// the same schema-versioning convention as cordbench artifacts.
-type runSummary struct {
-	Schema    int                `json:"schema"`
-	App       string             `json:"app"`
-	Seed      uint64             `json:"seed"`
-	Scale     int                `json:"scale"`
-	Threads   int                `json:"threads"`
-	Inject    uint64             `json:"inject,omitempty"`
-	D         int                `json:"d"`
-	Result    cord.Result        `json:"result"`
-	Detectors []detectorSummary  `json:"detectors"`
-	CordStats cord.DetectorStats `json:"cord_stats"`
-	LogBytes  int                `json:"log_bytes"`
-}
-
-type detectorSummary struct {
-	Name            string `json:"name"`
-	RacyAccesses    int    `json:"racy_accesses"`
-	ProblemDetected bool   `json:"problem_detected"`
 }
 
 // validateFlags rejects out-of-domain parameters before any simulation work,
@@ -185,8 +163,11 @@ func run() int {
 	}
 
 	if *jsonPath != "" {
-		sum := runSummary{
-			Schema:  1,
+		// The summary IS the service's DetectResponse: one schema for both
+		// producers, so a cordsim -json file and a POST /v1/detect body for
+		// the same parameters are byte-identical.
+		sum := server.DetectResponse{
+			Schema:  server.SchemaVersion,
 			App:     app.Name,
 			Seed:    *seed,
 			Scale:   *scale,
@@ -194,13 +175,19 @@ func run() int {
 			Inject:  *inject,
 			D:       *d,
 			Result:  res,
-			Detectors: []detectorSummary{
+			Detectors: []server.DetectorVerdict{
 				{Name: ideal.Name(), RacyAccesses: ideal.RaceCount(), ProblemDetected: ideal.ProblemDetected()},
 				{Name: vec.Name(), RacyAccesses: vec.RaceCount(), ProblemDetected: vec.ProblemDetected()},
 				{Name: det.Name(), RacyAccesses: det.RaceCount(), ProblemDetected: det.ProblemDetected()},
 			},
 			CordStats: st,
 			LogBytes:  det.Log().SizeBytes(),
+		}
+		for i, r := range det.Races() {
+			if i >= server.MaxRacesInResponse {
+				break
+			}
+			sum.Races = append(sum.Races, r.String())
 		}
 		b, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {

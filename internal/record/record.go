@@ -3,6 +3,57 @@
 // previous clock value (16 bits), the thread ID (16 bits), and the number of
 // instructions executed with that clock value (32 bits). The log, ordered by
 // logical time, drives deterministic replay (internal/replay).
+//
+// # Binary wire format
+//
+// An encoded log (EncodeTo / DecodeFrom — the format cordreplay -log writes,
+// cordlog inspects, and POST /v1/replay accepts) is a 16-byte header
+// followed by a flat array of fixed-width entries. All multi-byte fields are
+// little-endian; there is no varint or other variable-width encoding
+// anywhere in the stream, so entry i always lives at byte offset 16 + 8*i:
+//
+//	offset  size  field
+//	0       4     magic "CORD" (0x43 0x4F 0x52 0x44)
+//	4       4     format version, uint32 (currently 1)
+//	8       8     entry count N, uint64
+//	16      8*N   entries
+//
+// Each entry is 8 bytes (EntryBytes), mirroring the hardware log record of
+// §2.7.1:
+//
+//	offset  size  field
+//	0       2     Clock: the thread's 16-bit scalar clock *before* the change
+//	2       2     Thread: thread ID
+//	4       4     Instr: instructions retired while the clock held that value
+//
+// # Clock wraparound
+//
+// Clock is a raw 16-bit value and wraps; the stream stores it as recorded.
+// Schedule unwraps per thread: a thread's entries appear in append order,
+// and consecutive entries from one thread always lie within the sliding
+// comparison window of §2.7.5 (clock.Window = 2^15−1), so the per-thread
+// delta uint16(cur−prev) is unambiguous and accumulates into a monotone
+// 64-bit logical time. A delta exceeding the window means the stream does
+// not come from a well-formed recording ("clock regressed").
+//
+// # Error taxonomy
+//
+// DecodeFrom distinguishes transport failures from malformed input:
+//
+//   - Errors from the underlying reader (including a header shorter than 16
+//     bytes) are returned wrapped as-is: they are I/O problems, not format
+//     verdicts.
+//   - Structural problems — bad magic, unsupported version, an implausible
+//     entry count, or a stream that ends before the header's N entries —
+//     wrap ErrBadFormat; test with errors.Is(err, ErrBadFormat).
+//   - A truncated entry array additionally wraps io.ErrUnexpectedEOF (a
+//     clean EOF mid-array is promoted), so callers can tell "self-declared
+//     length vs actual bytes disagree" apart from other format damage.
+//
+// The header's count field is untrusted: DecodeFrom bounds it (maxEntries)
+// and caps preallocation, so a hostile header fails on read, not on OOM.
+// This is what lets the cordd service feed client-supplied bodies straight
+// into DecodeFrom behind a size limit.
 package record
 
 import (

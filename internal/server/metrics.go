@@ -1,0 +1,130 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBucketsMs are the fixed upper bounds (milliseconds) of the
+// per-endpoint latency histograms. The last bucket of Histogram.Counts is
+// the overflow bucket (> 60 s). Fixed bounds keep /metrics bodies
+// structurally identical across servers, so dashboards and load-test
+// tooling can diff them without negotiating shapes.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// Histogram is a cumulative latency histogram: Counts[i] holds observations
+// with latency <= LeMs[i]; the final element holds the overflow.
+type Histogram struct {
+	LeMs   []float64 `json:"le_ms"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	SumMs  float64   `json:"sum_ms"`
+}
+
+// SessionCounters are the cumulative session-lifecycle counters. Every
+// accepted session ends in exactly one of completed, failed, canceled or
+// timed-out; rejected requests were never accepted.
+type SessionCounters struct {
+	// Accepted sessions entered the queue.
+	Accepted uint64 `json:"accepted"`
+	// Started sessions were picked up by a worker.
+	Started uint64 `json:"started"`
+	// Completed sessions produced a 2xx response body.
+	Completed uint64 `json:"completed"`
+	// Failed sessions ended in a request or internal error.
+	Failed uint64 `json:"failed"`
+	// Canceled sessions were stopped because their client disconnected.
+	Canceled uint64 `json:"canceled"`
+	// TimedOut sessions exceeded the per-session timeout.
+	TimedOut uint64 `json:"timed_out"`
+	// RejectedQueueFull requests got 429: the session queue was full.
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	// RejectedDraining requests got 503: the server was shutting down.
+	RejectedDraining uint64 `json:"rejected_draining"`
+}
+
+// Metrics is the GET /metrics body: a schema-versioned snapshot of the
+// cumulative counters, following the internal/experiment JSON conventions
+// (fixed field order; map keys sort, so equal states encode to equal bytes).
+type Metrics struct {
+	Schema        int                  `json:"schema"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Workers       int                  `json:"workers"`
+	QueueDepth    int                  `json:"queue_depth"`
+	QueueCapacity int                  `json:"queue_capacity"`
+	Sessions      SessionCounters      `json:"sessions"`
+	Endpoints     map[string]Histogram `json:"endpoints"`
+}
+
+// metrics is the live, mutex-guarded store behind Metrics snapshots.
+type metrics struct {
+	mu        sync.Mutex
+	sessions  SessionCounters
+	endpoints map[string]*hist
+}
+
+type hist struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sumMs  float64
+}
+
+// numBuckets is len(latencyBucketsMs)+1 (the overflow bucket); a named constant
+// because array lengths must be constant expressions.
+const numBuckets = 16
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*hist)}
+}
+
+// bump applies fn to the counter set under the lock.
+func (m *metrics) bump(fn func(*SessionCounters)) {
+	m.mu.Lock()
+	fn(&m.sessions)
+	m.mu.Unlock()
+}
+
+// observe records one request's handler latency for an endpoint.
+func (m *metrics) observe(endpoint string, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	m.mu.Lock()
+	h := m.endpoints[endpoint]
+	if h == nil {
+		h = &hist{}
+		m.endpoints[endpoint] = h
+	}
+	h.counts[i]++
+	h.count++
+	h.sumMs += ms
+	m.mu.Unlock()
+}
+
+// snapshot renders the current counters as a Metrics value.
+func (m *metrics) snapshot(uptime time.Duration, workers, queueDepth, queueCap int) Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		Schema:        SchemaVersion,
+		UptimeSeconds: uptime.Seconds(),
+		Workers:       workers,
+		QueueDepth:    queueDepth,
+		QueueCapacity: queueCap,
+		Sessions:      m.sessions,
+		Endpoints:     make(map[string]Histogram, len(m.endpoints)),
+	}
+	for ep, h := range m.endpoints {
+		counts := make([]uint64, numBuckets)
+		copy(counts, h.counts[:])
+		out.Endpoints[ep] = Histogram{
+			LeMs:   latencyBucketsMs,
+			Counts: counts,
+			Count:  h.count,
+			SumMs:  h.sumMs,
+		}
+	}
+	return out
+}

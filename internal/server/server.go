@@ -1,0 +1,429 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"cord/internal/record"
+)
+
+// Config sizes one Server. Zero values select the defaults.
+type Config struct {
+	// Workers is the number of concurrent sessions the pool executes
+	// (default: runtime.NumCPU()). Each session is one simulation run.
+	Workers int
+	// QueueDepth is how many accepted sessions may wait for a worker
+	// (default 16). A full queue rejects new sessions with HTTP 429.
+	QueueDepth int
+	// SessionTimeout bounds one session's execution (default 60s); an
+	// expired session cancels its engine and answers HTTP 504.
+	SessionTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB) — both the JSON
+	// detect requests and the binary order logs feeding record.DecodeFrom.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// sessionResult is what a worker hands back to the waiting handler.
+type sessionResult struct {
+	status int
+	body   []byte
+}
+
+// statusClientGone is the internal status for a session whose client
+// disconnected before the response could be written (nginx's 499). It is
+// never written to a socket — the socket is gone — but it keeps the
+// completion path uniform.
+const statusClientGone = 499
+
+// session is one accepted unit of work: a closure over the parsed request,
+// executed by a worker under a merged (client ∪ timeout) context.
+type session struct {
+	ctx  context.Context // the request context: client disconnect cancels it
+	run  func(ctx context.Context) (any, error)
+	done chan sessionResult // buffered(1): workers never block on delivery
+}
+
+// Server is the cordd HTTP service: a mux over the API endpoints in front of
+// a bounded worker pool. It implements http.Handler. Create with New; stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *session
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	m     *metrics
+	start time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	draining bool
+	inflight int
+
+	stopOnce sync.Once
+
+	// runDetect/runReplay execute one session; fields so tests can
+	// substitute controllable work.
+	runDetect func(ctx context.Context, req DetectRequest) (*DetectResponse, error)
+	runReplay func(ctx context.Context, req ReplayRequest, log *record.Log) (*ReplayResponse, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		queue:     make(chan *session, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		m:         newMetrics(),
+		start:     time.Now(),
+		runDetect: RunDetect,
+		runReplay: RunReplay,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	s.mux.HandleFunc("POST /v1/replay", s.handleReplay)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns a snapshot of the cumulative counters.
+func (s *Server) Metrics() Metrics {
+	return s.m.snapshot(time.Since(s.start), s.cfg.Workers, len(s.queue), cap(s.queue))
+}
+
+// Shutdown drains the server: new sessions are rejected with 503, every
+// already-accepted session runs to completion (the HTTP server in front must
+// keep serving their connections), then the workers exit. It returns ctx's
+// error if the drain does not finish in time — accepted sessions are still
+// bounded by SessionTimeout, so a drain never hangs longer than that plus
+// queue wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.inflight > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		return fmt.Errorf("server: shutdown interrupted with %d sessions in flight: %w", n, ctx.Err())
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	return nil
+}
+
+// accept registers intent to enqueue one session; it fails once draining.
+func (s *Server) accept() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// release retires one accepted session and wakes a pending drain.
+func (s *Server) release() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case sess := <-s.queue:
+			s.serve(sess)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// serve executes one session under the merged client/timeout context and
+// classifies its outcome.
+func (s *Server) serve(sess *session) {
+	defer s.release()
+	s.m.bump(func(c *SessionCounters) { c.Started++ })
+	ctx, cancel := context.WithTimeout(sess.ctx, s.cfg.SessionTimeout)
+	defer cancel()
+	v, err := sess.run(ctx)
+	var res sessionResult
+	switch {
+	case err == nil:
+		b, encErr := encodeJSON(v)
+		if encErr != nil {
+			s.m.bump(func(c *SessionCounters) { c.Failed++ })
+			res = errorResult(http.StatusInternalServerError, encErr)
+			break
+		}
+		s.m.bump(func(c *SessionCounters) { c.Completed++ })
+		res = sessionResult{status: http.StatusOK, body: b}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.bump(func(c *SessionCounters) { c.TimedOut++ })
+		res = errorResult(http.StatusGatewayTimeout,
+			fmt.Errorf("session exceeded the %v timeout", s.cfg.SessionTimeout))
+	case errors.Is(err, context.Canceled):
+		s.m.bump(func(c *SessionCounters) { c.Canceled++ })
+		res = sessionResult{status: statusClientGone}
+	case errors.Is(err, ErrBadRequest):
+		s.m.bump(func(c *SessionCounters) { c.Failed++ })
+		res = errorResult(http.StatusBadRequest, err)
+	default:
+		s.m.bump(func(c *SessionCounters) { c.Failed++ })
+		res = errorResult(http.StatusInternalServerError, err)
+	}
+	sess.done <- res
+}
+
+// dispatch funnels one parsed request through the pool: enqueue (or push
+// back), then wait for the worker's verdict and relay it. It records the
+// endpoint's full handler latency — queue wait plus execution.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, run func(ctx context.Context) (any, error)) {
+	start := time.Now()
+	if !s.accept() {
+		s.m.bump(func(c *SessionCounters) { c.RejectedDraining++ })
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	sess := &session{ctx: r.Context(), run: run, done: make(chan sessionResult, 1)}
+	select {
+	case s.queue <- sess:
+		s.m.bump(func(c *SessionCounters) { c.Accepted++ })
+	default:
+		s.release()
+		s.m.bump(func(c *SessionCounters) { c.RejectedQueueFull++ })
+		// The queue holds whole sessions, so a slot frees no sooner than
+		// one session's service time; 1s is a deliberately coarse hint.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("session queue is full"))
+		return
+	}
+	// Always collect the verdict (cancellation makes workers finish
+	// promptly), so the session lifecycle fully brackets the handler.
+	res := <-sess.done
+	s.m.observe(r.URL.Path, time.Since(start))
+	if res.status == statusClientGone || r.Context().Err() != nil {
+		return // nobody left to write to
+	}
+	writeBody(w, res.status, res.body)
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req DetectRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, statusForBodyError(err), err)
+		return
+	}
+	req.ApplyDefaults()
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.dispatch(w, r, func(ctx context.Context) (any, error) {
+		return s.runDetect(ctx, req)
+	})
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	req, err := parseReplayQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.ApplyDefaults()
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The body is the binary order log; the size limit caps what the
+	// decoder will ever see, and DecodeFrom itself rejects malformed or
+	// truncated streams without oversized allocations.
+	log, err := record.DecodeFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, statusForBodyError(err), fmt.Errorf("decoding order log: %w", err))
+		return
+	}
+	s.dispatch(w, r, func(ctx context.Context) (any, error) {
+		return s.runReplay(ctx, req, log)
+	})
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Schema        int     `json:"schema"`
+	Status        string  `json:"status"` // "ok" or "draining"
+	Workers       int     `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := Health{
+		Schema:        SchemaVersion,
+		Status:        "ok",
+		Workers:       s.cfg.Workers,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	status := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// parseReplayQuery extracts the replay run parameters from the query string.
+func parseReplayQuery(r *http.Request) (ReplayRequest, error) {
+	q := r.URL.Query()
+	req := ReplayRequest{App: q.Get("app"), InjectThread: -1}
+	var err error
+	if req.Seed, err = queryUint(q.Get("seed"), 0); err != nil {
+		return req, fmt.Errorf("%w: seed: %v", ErrBadRequest, err)
+	}
+	if req.Scale, err = queryInt(q.Get("scale"), 0); err != nil {
+		return req, fmt.Errorf("%w: scale: %v", ErrBadRequest, err)
+	}
+	if req.Threads, err = queryInt(q.Get("threads"), 0); err != nil {
+		return req, fmt.Errorf("%w: threads: %v", ErrBadRequest, err)
+	}
+	if req.InjectThread, err = queryInt(q.Get("inject_thread"), -1); err != nil {
+		return req, fmt.Errorf("%w: inject_thread: %v", ErrBadRequest, err)
+	}
+	if req.InjectNth, err = queryUint(q.Get("inject_nth"), 0); err != nil {
+		return req, fmt.Errorf("%w: inject_nth: %v", ErrBadRequest, err)
+	}
+	return req, nil
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func queryUint(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// decodeJSONBody strictly parses one JSON value from the request body;
+// unknown fields are rejected so parameter typos fail loudly instead of
+// silently running the default configuration.
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return tooLarge
+		}
+		return fmt.Errorf("%w: decoding request body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// statusForBodyError maps body-read failures: an over-limit body is 413,
+// anything else the client sent is 400.
+func statusForBodyError(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Schema int    `json:"schema"`
+	Error  string `json:"error"`
+}
+
+func errorResult(status int, err error) sessionResult {
+	b, encErr := encodeJSON(errorBody{Schema: SchemaVersion, Error: err.Error()})
+	if encErr != nil { // can't happen: errorBody always marshals
+		b = []byte(`{"schema":1,"error":"internal error"}` + "\n")
+	}
+	return sessionResult{status: status, body: b}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	res := errorResult(status, err)
+	writeBody(w, res.status, res.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := encodeJSON(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBody(w, status, b)
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cord/internal/memsys"
+)
+
+// spinProg is a program that would run for a very long time: each thread
+// performs millions of reads. Only cancellation (or the op budget) stops it.
+func spinProg(threads, iters int) Program {
+	return Program{
+		Name:    "spin",
+		Threads: threads,
+		Body: func(t int, env *Env) {
+			a := memsys.Addr(uint64(t) * memsys.LineBytes)
+			for i := 0; i < iters; i++ {
+				env.Read(a)
+			}
+		},
+	}
+}
+
+// TestCancelStopsRun: closing Config.Cancel mid-run makes Run return
+// ErrCanceled promptly instead of executing the program to completion.
+func TestCancelStopsRun(t *testing.T) {
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(Config{Seed: 1, Cancel: cancel}, spinProg(4, 10_000_000)).Run()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Run returned %v, want ErrCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not stop after cancellation")
+	}
+}
+
+// TestCancelBeforeRun: a pre-canceled run aborts without executing anything.
+func TestCancelBeforeRun(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err := New(Config{Seed: 1, Cancel: cancel}, spinProg(2, 10_000_000)).Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run returned %v, want ErrCanceled", err)
+	}
+}
+
+// TestCancelLeaksNoGoroutines: after a canceled run every workload goroutine
+// must have exited — abortAll unwinds parked threads even on the cancel path.
+func TestCancelLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		cancel := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = New(Config{Seed: uint64(i + 1), Cancel: cancel}, spinProg(4, 10_000_000)).Run()
+		}()
+		time.Sleep(time.Millisecond)
+		close(cancel)
+		<-done
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after canceled runs", before, runtime.NumGoroutine())
+}
+
+// TestNilCancelUnaffected: the default configuration (no Cancel channel) is
+// untouched by the cancellation path — the run completes normally.
+func TestNilCancelUnaffected(t *testing.T) {
+	res, err := New(Config{Seed: 1}, spinProg(2, 100)).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d, want 200", res.Ops)
+	}
+}

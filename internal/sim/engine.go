@@ -81,6 +81,13 @@ type Config struct {
 	// replay: epochs run in order, each granting its thread a quota of
 	// committed instructions.
 	ReplayEpochs []record.Epoch
+	// Cancel, when non-nil, aborts the run once the channel is closed: the
+	// engine unwinds every thread and Run returns ErrCanceled. Wire a
+	// context's Done() channel here to propagate request cancellation into
+	// a simulation (the cordd service does exactly that). Cancellation is
+	// checked between scheduled operations, so a run stops promptly but
+	// never mid-access.
+	Cancel <-chan struct{}
 	// MaxOps aborts runaway executions (default 50M committed ops).
 	MaxOps uint64
 	// TraceReads, when set, receives every read's value (diagnostics).
@@ -120,6 +127,11 @@ type Result struct {
 // ErrReplayDivergence reports that a replayed execution could not follow the
 // log (the log is inconsistent with the program or injection plan).
 var ErrReplayDivergence = errors.New("sim: replay diverged from log")
+
+// ErrCanceled reports that a run was abandoned because its Config.Cancel
+// channel closed before the program finished. The partial execution is
+// discarded; no Result is returned.
+var ErrCanceled = errors.New("sim: run canceled")
 
 type threadState int
 
@@ -303,6 +315,16 @@ func (e *Engine) Run() (Result, error) {
 	hung := false
 	var runErr error
 	for {
+		if e.cfg.Cancel != nil {
+			select {
+			case <-e.cfg.Cancel:
+				runErr = fmt.Errorf("%w: %s", ErrCanceled, e.prog.Name)
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+		}
 		t := e.pick()
 		if t == nil {
 			if e.allDone() {

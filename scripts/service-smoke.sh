@@ -1,0 +1,84 @@
+#!/bin/sh
+# End-to-end smoke test for the cordd service: build it, start it, exercise
+# one detect and one replay session over real HTTP, then SIGTERM it and
+# assert a clean drain. CI runs this; `make smoke-service` runs it locally.
+#
+# Pure POSIX sh + curl + grep: no test framework, no jq.
+set -eu
+
+PORT="${CORDD_PORT:-18080}"
+ADDR="127.0.0.1:$PORT"
+DIR="$(mktemp -d)"
+PID=""
+
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -9 "$PID" 2>/dev/null || true
+	fi
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "service-smoke: FAIL: $*" >&2
+	if [ -f "$DIR/cordd.log" ]; then
+		echo "--- cordd log ---" >&2
+		cat "$DIR/cordd.log" >&2
+	fi
+	exit 1
+}
+
+echo "service-smoke: building cordd and cordreplay"
+go build -o "$DIR/cordd" ./cmd/cordd
+go build -o "$DIR/cordreplay" ./cmd/cordreplay
+
+echo "service-smoke: starting cordd on $ADDR"
+"$DIR/cordd" -addr "$ADDR" -workers 2 -queue 4 -timeout 60s -drain 30s \
+	>"$DIR/cordd.log" 2>&1 &
+PID=$!
+
+# Wait for readiness: /healthz must answer 200 with status "ok".
+i=0
+until curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"'; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && fail "server did not become healthy"
+	kill -0 "$PID" 2>/dev/null || fail "cordd exited before becoming healthy"
+	sleep 0.2
+done
+echo "service-smoke: healthy after $i polls"
+
+# One detect session: 2xx with a schema-versioned body naming the app.
+curl -sf -X POST "http://$ADDR/v1/detect" \
+	-H 'Content-Type: application/json' \
+	-d '{"app":"fft","seed":3,"threads":4,"inject":5}' \
+	>"$DIR/detect.json" || fail "detect request did not return 2xx"
+grep -q '"schema": 1' "$DIR/detect.json" || fail "detect body missing schema stamp"
+grep -q '"app": "fft"' "$DIR/detect.json" || fail "detect body missing app echo"
+grep -q '"detectors"' "$DIR/detect.json" || fail "detect body missing detector verdicts"
+echo "service-smoke: detect session OK"
+
+# Record a real order log, then replay it through the service: 2xx and a
+# completed verdict.
+"$DIR/cordreplay" -app fft -seed 9 -log "$DIR/fft.cordlog" >/dev/null \
+	|| fail "cordreplay could not record a log"
+curl -sf -X POST "http://$ADDR/v1/replay?app=fft&seed=9&threads=4" \
+	-H 'Content-Type: application/octet-stream' \
+	--data-binary @"$DIR/fft.cordlog" \
+	>"$DIR/replay.json" || fail "replay request did not return 2xx"
+grep -q '"schema": 1' "$DIR/replay.json" || fail "replay body missing schema stamp"
+grep -q '"completed": true' "$DIR/replay.json" || fail "replay did not complete"
+echo "service-smoke: replay session OK"
+
+# Metrics must show the two completed sessions.
+curl -sf "http://$ADDR/metrics" >"$DIR/metrics.json" || fail "metrics not served"
+grep -q '"completed": 2' "$DIR/metrics.json" || fail "metrics do not show 2 completed sessions"
+echo "service-smoke: metrics OK"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=""
+[ "$status" -eq 0 ] || fail "cordd exited $status on SIGTERM (want clean drain, exit 0)"
+grep -q "drained cleanly" "$DIR/cordd.log" || fail "cordd log missing drain confirmation"
+echo "service-smoke: PASS (clean drain)"
