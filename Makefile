@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures serve loadtest smoke-service clean
+.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures serve loadtest smoke-service resume-smoke fuzz-smoke clean
 
 check: fmt vet build test
 
@@ -79,6 +79,21 @@ loadtest:
 # replay session over HTTP, SIGTERM, assert a clean drain. CI runs this.
 smoke-service:
 	sh scripts/service-smoke.sh
+
+# End-to-end crash-recovery smoke: kill -9 a live checkpointed campaign,
+# resume it, assert byte-identical artifacts; SIGTERM drain; 20% transient
+# chaos completing through retries. CI runs this (see EXPERIMENTS.md,
+# "Interrupting and resuming a campaign").
+resume-smoke:
+	sh scripts/resume-smoke.sh
+
+# Short fuzzing pass over every hardened input surface: the binary order-log
+# decoder and both service request parsers. CI runs this; crashes land in
+# testdata/fuzz/ for triage.
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzDecodeFrom' -fuzztime 10s -run '^$$' ./internal/record/
+	$(GO) test -fuzz 'FuzzDetectRequest' -fuzztime 10s -run '^$$' ./internal/server/
+	$(GO) test -fuzz 'FuzzReplayParams' -fuzztime 10s -run '^$$' ./internal/server/
 
 clean:
 	$(GO) clean ./...

@@ -14,27 +14,62 @@
 // -diff <dir> compares the fresh run against such artifacts (the golden
 // baselines CI gates on). See EXPERIMENTS.md.
 //
+// Campaigns are crash-safe when -checkpoint <dir> is given: every completed
+// run's outcome is journaled, SIGINT/SIGTERM drain in-flight runs before
+// exiting (status 3, resumable), and a later invocation with the same flags
+// plus -resume skips every journaled run and produces byte-identical
+// artifacts. See EXPERIMENTS.md ("Interrupting and resuming a campaign").
+//
 // Usage:
 //
 //	cordbench -all -injections 60
 //	cordbench -fig12 -fig16 -procs 8
 //	cordbench -all -injections 8 -json out/
 //	cordbench -all -injections 8 -diff out/ -diff-rel 0.05
+//	cordbench -all -injections 8 -checkpoint ckpt/ -json out/
+//	cordbench -all -injections 8 -checkpoint ckpt/ -resume -json out/
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
+	"syscall"
 	"text/tabwriter"
 
+	"cord/internal/chaos"
+	"cord/internal/checkpoint"
 	"cord/internal/experiment"
+	"cord/internal/workload"
 )
+
+// journalName is the checkpoint journal's file name inside -checkpoint <dir>.
+const journalName = "journal.cordckpt"
 
 func main() {
 	os.Exit(run())
+}
+
+// parseApps resolves the -apps comma list to workloads; an empty spec means
+// "all of Table 1" (a nil slice, which Options.withDefaults expands).
+func parseApps(spec string) ([]workload.App, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var apps []workload.App
+	for _, name := range strings.Split(spec, ",") {
+		app, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, app)
+	}
+	return apps, nil
 }
 
 // validateFlags rejects degenerate campaign parameters up front: zero or
@@ -89,6 +124,9 @@ func run() int {
 		diffRel    = flag.Float64("diff-rel", 0, "relative per-cell tolerance for -diff (0.05 = 5%)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		ckptDir    = flag.String("checkpoint", "", "journal completed runs into this directory; interrupted campaigns can be resumed with -resume")
+		resume     = flag.Bool("resume", false, "with -checkpoint: reuse journaled runs from an earlier interrupted invocation")
+		appsFl     = flag.String("apps", "", "comma-separated application subset (default: all of Table 1)")
 	)
 	flag.Parse()
 
@@ -99,6 +137,17 @@ func run() int {
 	}
 	if *diffAbs < 0 || *diffRel < 0 {
 		fmt.Fprintf(os.Stderr, "cordbench: -diff-abs and -diff-rel must be >= 0\n")
+		flag.Usage()
+		return 2
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintf(os.Stderr, "cordbench: -resume requires -checkpoint <dir>\n")
+		flag.Usage()
+		return 2
+	}
+	apps, err := parseApps(*appsFl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordbench: -apps: %v\n", err)
 		flag.Usage()
 		return 2
 	}
@@ -141,12 +190,69 @@ func run() int {
 		}()
 	}
 
-	opts := experiment.Options{Scale: *scale, Injections: *injections, BaseSeed: *seed, Procs: *procs}
+	opts := experiment.Options{Scale: *scale, Injections: *injections, BaseSeed: *seed, Procs: *procs, Apps: apps}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
+
+	cha, err := chaos.FromEnv()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordbench: %s: %v\n", chaos.EnvVar, err)
+		return 2
+	}
+	if cha.Active() {
+		fmt.Fprintf(os.Stderr, "cordbench: %s\n", cha)
+		opts.Chaos = cha
+	}
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
+			return 1
+		}
+		jl, err := checkpoint.Open(filepath.Join(*ckptDir, journalName))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cordbench: opening checkpoint journal: %v\n", err)
+			return 1
+		}
+		defer jl.Close()
+		if jl.Len() > 0 && !*resume {
+			fmt.Fprintf(os.Stderr, "cordbench: %s already holds %d journaled runs; pass -resume to continue that campaign, or point -checkpoint at an empty directory\n",
+				jl.Path(), jl.Len())
+			return 2
+		}
+		if !*quiet && jl.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "cordbench: resuming; %d journaled runs will be reused where the campaign matches\n", jl.Len())
+		}
+		opts.Checkpoint = jl
+	}
+
+	// SIGINT/SIGTERM drain in-flight runs (journaling them under -checkpoint)
+	// and exit resumable; a second signal aborts immediately.
+	interrupt := make(chan struct{})
+	opts.Interrupt = interrupt
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "cordbench: signal received; draining in-flight runs (send again to abort)")
+		close(interrupt)
+		<-sigCh
+		os.Exit(1)
+	}()
+
 	out := os.Stdout
 	errf := func(err error) int {
+		if errors.Is(err, experiment.ErrInterrupted) {
+			if opts.Checkpoint != nil {
+				fmt.Fprintf(os.Stderr, "cordbench: interrupted; %d completed runs are journaled in %s — rerun with the same flags plus -resume to continue\n",
+					opts.Checkpoint.Len(), opts.Checkpoint.Path())
+			} else {
+				fmt.Fprintln(os.Stderr, "cordbench: interrupted (no -checkpoint, so completed runs were not journaled)")
+			}
+			return 3
+		}
 		fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
 		return 1
 	}

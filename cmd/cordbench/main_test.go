@@ -2,6 +2,24 @@ package main
 
 import "testing"
 
+// TestParseApps: the -apps comma list resolves names through the Table 1
+// catalogue; empty means all, unknown names are usage errors.
+func TestParseApps(t *testing.T) {
+	if apps, err := parseApps(""); apps != nil || err != nil {
+		t.Fatalf("parseApps(\"\") = %v, %v; want nil, nil (all apps)", apps, err)
+	}
+	apps, err := parseApps(" raytrace , lu ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 || apps[0].Name != "raytrace" || apps[1].Name != "lu" {
+		t.Fatalf("parseApps picked %v", apps)
+	}
+	if _, err := parseApps("raytrace,nosuchapp"); err == nil {
+		t.Fatal("unknown app name accepted")
+	}
+}
+
 // TestValidateFlags: degenerate campaign parameters must be rejected up
 // front with a usage error instead of producing empty figures or confusing
 // downstream failures.

@@ -9,8 +9,10 @@
 //
 // Each stage issues -n detect sessions (seeds base, base+1, ...) from the
 // stage's client count and prints wall-clock, requests/s and latency
-// quantiles; 429 responses are counted separately so backpressure is
-// visible, not fatal. The final section echoes the server's /metrics
+// quantiles. A 429 is backpressure, not failure: the client honors the
+// server's Retry-After hint (capped at -retry-cap) and retries the session
+// up to -retries attempts, counting retries separately so pushback stays
+// visible in the summary. The final section echoes the server's /metrics
 // session counters.
 package main
 
@@ -63,7 +65,7 @@ func parseSweep(s string) ([]int, error) {
 
 // validateFlags rejects out-of-domain load parameters up front (exit 2 +
 // usage), like every other cord binary.
-func validateFlags(n, scale, threads, d int) error {
+func validateFlags(n, scale, threads, d, retries int, retryCap time.Duration) error {
 	if n < 1 {
 		return fmt.Errorf("-n must be at least 1")
 	}
@@ -76,13 +78,57 @@ func validateFlags(n, scale, threads, d int) error {
 	if d < 1 {
 		return fmt.Errorf("-d must be at least 1")
 	}
+	if retries < 1 {
+		return fmt.Errorf("-retries must be at least 1 (the first attempt counts)")
+	}
+	if retryCap <= 0 {
+		return fmt.Errorf("-retry-cap must be positive")
+	}
 	return nil
+}
+
+// retryPolicy is how a stage treats 429 pushback: up to attempts tries per
+// session, sleeping the server's Retry-After hint (or a doubling fallback
+// starting at fallback) between them, each sleep capped at cap.
+type retryPolicy struct {
+	attempts int
+	fallback time.Duration
+	cap      time.Duration
+}
+
+// retryAfter converts one 429's Retry-After header into a sleep. Both wire
+// forms are honored — delta-seconds and HTTP-date — and a missing or
+// malformed header falls back to doubling backoff by attempt (1-based).
+// Every result is clamped to [0, cap].
+func (p retryPolicy) retryAfter(header string, attempt int) time.Duration {
+	d := -1 * time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(header); err == nil {
+		d = time.Until(at)
+	}
+	if d < 0 { // absent, malformed, or already in the past
+		d = p.fallback
+		for i := 1; i < attempt; i++ {
+			d *= 2
+			if d >= p.cap {
+				break
+			}
+		}
+	}
+	if d > p.cap {
+		d = p.cap
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 type stageResult struct {
 	clients   int
 	ok        int
-	backoff   int // 429s
+	retries   int // 429 responses that were retried after Retry-After
 	errors    int
 	wall      time.Duration
 	latencies []time.Duration
@@ -102,19 +148,21 @@ func main() {
 
 func run() int {
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8080", "base URL of the cordd to load")
-		app     = flag.String("app", "fft", "application for the detect sessions")
-		seed    = flag.Uint64("seed", 1, "base seed; request i uses seed+i")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		threads = flag.Int("threads", 4, "simulated threads")
-		d       = flag.Int("d", 16, "CORD sync-read window D")
-		n       = flag.Int("n", 32, "requests per sweep stage")
-		sweep   = flag.String("sweep", "1,2,4,8", "comma-separated concurrent-client counts")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the cordd to load")
+		app      = flag.String("app", "fft", "application for the detect sessions")
+		seed     = flag.Uint64("seed", 1, "base seed; request i uses seed+i")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		threads  = flag.Int("threads", 4, "simulated threads")
+		d        = flag.Int("d", 16, "CORD sync-read window D")
+		n        = flag.Int("n", 32, "requests per sweep stage")
+		sweep    = flag.String("sweep", "1,2,4,8", "comma-separated concurrent-client counts")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+		retries  = flag.Int("retries", 5, "attempts per session before a 429 becomes a hard error")
+		retryCap = flag.Duration("retry-cap", 5*time.Second, "upper bound on one Retry-After sleep")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*n, *scale, *threads, *d); err != nil {
+	if err := validateFlags(*n, *scale, *threads, *d, *retries, *retryCap); err != nil {
 		fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
 		flag.Usage()
 		return 2
@@ -132,16 +180,17 @@ func run() int {
 		return 1
 	}
 
+	policy := retryPolicy{attempts: *retries, fallback: 250 * time.Millisecond, cap: *retryCap}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "clients\tok\t429\terrors\twall\treq/s\tp50\tp95\tmax")
+	fmt.Fprintln(w, "clients\tok\tretries\terrors\twall\treq/s\tp50\tp95\tmax")
 	for _, c := range stages {
-		res := runStage(client, *addr, c, *n, detectRequest{
+		res := runStage(client, *addr, c, *n, policy, detectRequest{
 			App: *app, Seed: *seed, Scale: *scale, Threads: *threads, D: *d,
 		})
 		sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 		rps := float64(res.ok) / res.wall.Seconds()
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2fs\t%.1f\t%s\t%s\t%s\n",
-			res.clients, res.ok, res.backoff, res.errors, res.wall.Seconds(), rps,
+			res.clients, res.ok, res.retries, res.errors, res.wall.Seconds(), rps,
 			quantile(res.latencies, 0.50).Round(time.Millisecond),
 			quantile(res.latencies, 0.95).Round(time.Millisecond),
 			quantile(res.latencies, 1.00).Round(time.Millisecond))
@@ -162,8 +211,10 @@ func run() int {
 }
 
 // runStage issues n detect sessions from c concurrent clients; request i
-// uses seed base+i so every session is distinct work.
-func runStage(client *http.Client, addr string, c, n int, base detectRequest) stageResult {
+// uses seed base+i so every session is distinct work. 429 responses retry
+// under the stage's policy; a session that stays throttled through every
+// attempt counts as one hard error.
+func runStage(client *http.Client, addr string, c, n int, policy retryPolicy, base detectRequest) stageResult {
 	res := stageResult{clients: c}
 	var next atomic.Int64
 	var mu sync.Mutex
@@ -181,25 +232,35 @@ func runStage(client *http.Client, addr string, c, n int, base detectRequest) st
 				req := base
 				req.Seed += uint64(i)
 				body, _ := json.Marshal(req)
-				t0 := time.Now()
-				resp, err := client.Post(addr+"/v1/detect", "application/json", bytes.NewReader(body))
-				lat := time.Since(t0)
-				mu.Lock()
-				switch {
-				case err != nil:
-					res.errors++
-				case resp.StatusCode == http.StatusOK:
-					res.ok++
-					res.latencies = append(res.latencies, lat)
-				case resp.StatusCode == http.StatusTooManyRequests:
-					res.backoff++
-				default:
-					res.errors++
-				}
-				mu.Unlock()
-				if err == nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
+				for attempt := 1; ; attempt++ {
+					t0 := time.Now()
+					resp, err := client.Post(addr+"/v1/detect", "application/json", bytes.NewReader(body))
+					lat := time.Since(t0)
+					throttled := false
+					var sleep time.Duration
+					mu.Lock()
+					switch {
+					case err != nil:
+						res.errors++
+					case resp.StatusCode == http.StatusOK:
+						res.ok++
+						res.latencies = append(res.latencies, lat)
+					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.attempts:
+						res.retries++
+						throttled = true
+						sleep = policy.retryAfter(resp.Header.Get("Retry-After"), attempt)
+					default: // non-429 failure, or throttled out of attempts
+						res.errors++
+					}
+					mu.Unlock()
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					if !throttled {
+						break
+					}
+					time.Sleep(sleep)
 				}
 			}
 		}()

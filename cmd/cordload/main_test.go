@@ -1,6 +1,10 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 )
@@ -9,26 +13,102 @@ import (
 // starts hammering a server with nonsense.
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name    string
-		n       int
-		scale   int
-		threads int
-		d       int
-		wantErr bool
+		name     string
+		n        int
+		scale    int
+		threads  int
+		d        int
+		retries  int
+		retryCap time.Duration
+		wantErr  bool
 	}{
-		{"defaults", 32, 1, 4, 16, false},
-		{"minimal", 1, 1, 1, 1, false},
-		{"zero n", 0, 1, 4, 16, true},
-		{"negative n", -5, 1, 4, 16, true},
-		{"zero scale", 32, 0, 4, 16, true},
-		{"zero threads", 32, 1, 0, 16, true},
-		{"zero d", 32, 1, 4, 0, true},
+		{"defaults", 32, 1, 4, 16, 5, 5 * time.Second, false},
+		{"minimal", 1, 1, 1, 1, 1, time.Millisecond, false},
+		{"zero n", 0, 1, 4, 16, 5, 5 * time.Second, true},
+		{"negative n", -5, 1, 4, 16, 5, 5 * time.Second, true},
+		{"zero scale", 32, 0, 4, 16, 5, 5 * time.Second, true},
+		{"zero threads", 32, 1, 0, 16, 5, 5 * time.Second, true},
+		{"zero d", 32, 1, 4, 0, 5, 5 * time.Second, true},
+		{"zero retries", 32, 1, 4, 16, 0, 5 * time.Second, true},
+		{"zero retry cap", 32, 1, 4, 16, 5, 0, true},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.n, tc.scale, tc.threads, tc.d)
+		err := validateFlags(tc.n, tc.scale, tc.threads, tc.d, tc.retries, tc.retryCap)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: validateFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// TestRetryAfter: both wire forms of Retry-After are honored, malformed and
+// missing headers fall back to doubling backoff, and everything clamps to
+// the cap.
+func TestRetryAfter(t *testing.T) {
+	p := retryPolicy{attempts: 5, fallback: 100 * time.Millisecond, cap: 2 * time.Second}
+	if d := p.retryAfter("1", 1); d != time.Second {
+		t.Fatalf("delta-seconds: %v, want 1s", d)
+	}
+	if d := p.retryAfter("30", 1); d != p.cap {
+		t.Fatalf("over-cap delta-seconds: %v, want the %v cap", d, p.cap)
+	}
+	httpDate := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
+	if d := p.retryAfter(httpDate, 1); d != p.cap {
+		t.Fatalf("future HTTP-date: %v, want clamped to %v", d, p.cap)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := p.retryAfter(past, 1); d != p.fallback {
+		t.Fatalf("past HTTP-date: %v, want the %v fallback", d, p.fallback)
+	}
+	// Fallback doubles per attempt and clamps.
+	if d := p.retryAfter("", 1); d != p.fallback {
+		t.Fatalf("missing header attempt 1: %v, want %v", d, p.fallback)
+	}
+	if d := p.retryAfter("garbage", 2); d != 2*p.fallback {
+		t.Fatalf("malformed header attempt 2: %v, want %v", d, 2*p.fallback)
+	}
+	if d := p.retryAfter("", 10); d != p.cap {
+		t.Fatalf("missing header attempt 10: %v, want the %v cap", d, p.cap)
+	}
+}
+
+// TestRunStageRetriesThrottling: a server that 429s every session once must
+// still end the stage with every session OK, the pushback visible in the
+// retry counter, and nothing counted as a hard error — unless the throttling
+// outlives the attempt budget, which becomes exactly one error per session.
+func TestRunStageRetriesThrottling(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		seen[string(body)]++
+		first := seen[string(body)] == 1
+		mu.Unlock()
+		if first {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	policy := retryPolicy{attempts: 3, fallback: time.Millisecond, cap: 10 * time.Millisecond}
+	res := runStage(srv.Client(), srv.URL, 2, 6, policy, detectRequest{App: "fft", Seed: 1})
+	if res.ok != 6 || res.errors != 0 {
+		t.Fatalf("ok=%d errors=%d, want 6 ok and 0 errors", res.ok, res.errors)
+	}
+	if res.retries != 6 {
+		t.Fatalf("retries=%d, want 6 (each session throttled once)", res.retries)
+	}
+
+	// A single-attempt policy turns the same throttling into hard errors.
+	mu.Lock()
+	seen = map[string]int{}
+	mu.Unlock()
+	res = runStage(srv.Client(), srv.URL, 1, 3, retryPolicy{attempts: 1, fallback: time.Millisecond, cap: time.Millisecond}, detectRequest{App: "fft", Seed: 1})
+	if res.ok != 0 || res.errors != 3 || res.retries != 0 {
+		t.Fatalf("ok=%d errors=%d retries=%d, want 0/3/0 with no retry budget", res.ok, res.errors, res.retries)
 	}
 }
 

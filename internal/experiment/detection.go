@@ -6,6 +6,8 @@ import (
 	"math/rand/v2"
 
 	"cord/internal/baseline"
+	"cord/internal/chaos"
+	"cord/internal/checkpoint"
 	"cord/internal/core"
 	"cord/internal/sim"
 	"cord/internal/trace"
@@ -34,6 +36,27 @@ type Options struct {
 	// and aggregation happens in deterministic index order. Not to be
 	// confused with Threads, the count of simulated processors.
 	Procs int
+	// Checkpoint, when non-nil, makes the campaign crash-safe: every
+	// completed run's outcome is journaled under its deterministic identity,
+	// and runs already journaled (by this process or a crashed predecessor
+	// with the same campaign configuration) are skipped, their outcomes
+	// loaded instead of re-simulated. Resumed campaigns produce artifacts
+	// byte-identical to uninterrupted ones. It has no effect on results.
+	Checkpoint *checkpoint.Journal
+	// Retry bounds per-run retry of transient failures (zero: 3 attempts,
+	// 100ms base delay doubling to a 2s cap, deterministic jitter).
+	Retry Retry
+	// Interrupt, when non-nil and closed, drains the campaign gracefully:
+	// no new runs dispatch, in-flight runs finish (and journal), and the
+	// entry point returns ErrInterrupted. cordbench wires SIGINT/SIGTERM
+	// here.
+	Interrupt <-chan struct{}
+	// Chaos, when non-nil, injects faults into the campaign — transient run
+	// failures, journal-write failures, a mid-campaign process crash — for
+	// robustness testing (see internal/chaos and the CORD_CHAOS variable).
+	// Injected faults never change outcomes: failed attempts are retried
+	// and runs are pure functions of their seeds.
+	Chaos *chaos.Chaos
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +78,7 @@ func (o Options) withDefaults() Options {
 	if o.Procs <= 0 {
 		o.Procs = defaultProcs()
 	}
+	o.Retry = o.Retry.withDefaults()
 	o.Progress = newSyncWriter(o.Progress)
 	return o
 }
@@ -99,14 +123,23 @@ type DetectionResults struct {
 // injectionOutcome is one fault-injection run's contribution to its
 // application's aggregate. Runs record into their own outcome value (keyed
 // by run index) so the campaign can execute them in any order and on any
-// number of workers without changing the aggregate.
+// number of workers without changing the aggregate. The json tags are the
+// checkpoint-journal wire encoding: a resumed campaign decodes these exact
+// fields back, so the aggregation cannot tell a journaled outcome from a
+// fresh one.
 type injectionOutcome struct {
-	landed     bool // the injection target existed in this run
-	hung       bool
-	manifested bool
-	problems   map[string]bool
-	races      map[string]int
-	falsePos   int
+	Landed     bool            `json:"landed"` // the injection target existed in this run
+	Hung       bool            `json:"hung,omitempty"`
+	Manifested bool            `json:"manifested,omitempty"`
+	Problems   map[string]bool `json:"problems,omitempty"`
+	Races      map[string]int  `json:"races,omitempty"`
+	FalsePos   int             `json:"false_pos,omitempty"`
+}
+
+// countOutcome is the journaled outcome of one phase-1 sizing run: the
+// injection targets drawn for the app.
+type countOutcome struct {
+	Targets []uint64 `json:"targets"`
 }
 
 // RunDetection executes the §3.4 methodology: for each application, inject
@@ -124,29 +157,31 @@ func RunDetection(o Options) (*DetectionResults, error) {
 	// injection targets. Targets come from a per-app PCG stream consumed in
 	// injection order — the same stream and order as a serial campaign —
 	// which is what keeps parallel campaigns bit-identical.
-	targets := make([][]uint64, len(o.Apps))
-	if err := forEach(o.Procs, len(o.Apps), func(appIdx int) error {
-		app := o.Apps[appIdx]
-		count, err := o.runSim("counting", app, o.Threads, sim.Config{Seed: o.BaseSeed})
-		if err != nil {
-			return err
-		}
-		if count.SyncInstances == 0 {
-			return fmt.Errorf("experiment: %s has no injectable synchronization", app.Name)
-		}
-		rng := rand.New(rand.NewPCG(o.BaseSeed^uint64(appIdx*7919+1), 0xD1CE))
-		// Stay below the observed count so the target exists in runs whose
-		// instance count varies slightly with the seed.
-		maxTarget := count.SyncInstances * 9 / 10
-		if maxTarget == 0 {
-			maxTarget = 1
-		}
-		ts := make([]uint64, o.Injections)
-		for i := range ts {
-			ts[i] = 1 + rng.Uint64N(maxTarget)
-		}
-		targets[appIdx] = ts
-		return nil
+	counts := make([]countOutcome, len(o.Apps))
+	if err := o.forEach(len(o.Apps), func(appIdx int) error {
+		return o.journaledRun("detect-count", appIdx, 0, &counts[appIdx], func() error {
+			app := o.Apps[appIdx]
+			count, err := o.runSim("counting", app, o.Threads, sim.Config{Seed: o.BaseSeed})
+			if err != nil {
+				return err
+			}
+			if count.SyncInstances == 0 {
+				return fmt.Errorf("experiment: %s has no injectable synchronization", app.Name)
+			}
+			rng := rand.New(rand.NewPCG(o.BaseSeed^uint64(appIdx*7919+1), 0xD1CE))
+			// Stay below the observed count so the target exists in runs whose
+			// instance count varies slightly with the seed.
+			maxTarget := count.SyncInstances * 9 / 10
+			if maxTarget == 0 {
+				maxTarget = 1
+			}
+			ts := make([]uint64, o.Injections)
+			for i := range ts {
+				ts[i] = 1 + rng.Uint64N(maxTarget)
+			}
+			counts[appIdx] = countOutcome{Targets: ts}
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -157,14 +192,16 @@ func RunDetection(o Options) (*DetectionResults, error) {
 	for appIdx := range o.Apps {
 		outcomes[appIdx] = make([]injectionOutcome, o.Injections)
 	}
-	if err := forEach(o.Procs, len(o.Apps)*o.Injections, func(k int) error {
+	if err := o.forEach(len(o.Apps)*o.Injections, func(k int) error {
 		appIdx, i := k/o.Injections, k%o.Injections
-		out, err := o.runInjection(appIdx, i, targets[appIdx][i])
-		if err != nil {
-			return err
-		}
-		outcomes[appIdx][i] = out
-		return nil
+		return o.journaledRun("detect-inject", appIdx, i, &outcomes[appIdx][i], func() error {
+			out, err := o.runInjection(appIdx, i, counts[appIdx].Targets[i])
+			if err != nil {
+				return err
+			}
+			outcomes[appIdx][i] = out
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -177,24 +214,24 @@ func RunDetection(o Options) (*DetectionResults, error) {
 			Races:    map[string]int{},
 		}
 		for _, out := range outcomes[appIdx] {
-			if !out.landed {
+			if !out.Landed {
 				continue // target beyond this run's instance count
 			}
-			if out.hung {
+			if out.Hung {
 				agg.Hung++
 				continue
 			}
 			agg.Injected++
-			if out.manifested {
+			if out.Manifested {
 				agg.Manifested++
 			}
 			for _, cfg := range res.Configs {
-				if out.problems[cfg] {
+				if out.Problems[cfg] {
 					agg.Problems[cfg]++
 				}
-				agg.Races[cfg] += out.races[cfg]
+				agg.Races[cfg] += out.Races[cfg]
 			}
-			agg.FalsePositives += out.falsePos
+			agg.FalsePositives += out.FalsePos
 		}
 		res.Apps = append(res.Apps, agg)
 		if o.Progress != nil {
@@ -236,17 +273,17 @@ func (o Options) runInjection(appIdx, i int, target uint64) (injectionOutcome, e
 		return injectionOutcome{}, nil
 	}
 	if run.Hung {
-		return injectionOutcome{landed: true, hung: true}, nil
+		return injectionOutcome{Landed: true, Hung: true}, nil
 	}
 	out := injectionOutcome{
-		landed:     true,
-		manifested: ideal.ProblemDetected(),
-		problems:   map[string]bool{},
-		races:      map[string]int{},
+		Landed:     true,
+		Manifested: ideal.ProblemDetected(),
+		Problems:   map[string]bool{},
+		Races:      map[string]int{},
 	}
 	record := func(name string, problem bool, races int) {
-		out.problems[name] = problem
-		out.races[name] = races
+		out.Problems[name] = problem
+		out.Races[name] = races
 	}
 	record(cfgIdeal, ideal.ProblemDetected(), ideal.RaceCount())
 	record(cfgVecInf, vecInf.ProblemDetected(), vecInf.RaceCount())
@@ -256,7 +293,7 @@ func (o Options) runInjection(appIdx, i int, target uint64) (injectionOutcome, e
 		record(name, d.ProblemDetected(), d.RaceCount())
 		for _, r := range d.Races() {
 			if !ideal.Confirms(r) {
-				out.falsePos++
+				out.FalsePos++
 			}
 		}
 	}

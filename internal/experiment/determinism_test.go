@@ -187,7 +187,7 @@ func TestForEach(t *testing.T) {
 	for _, procs := range []int{1, 4, 100} {
 		var sum atomic.Int64
 		got := make([]int, 50)
-		if err := forEach(procs, len(got), func(i int) error {
+		if err := (Options{Procs: procs}).forEach(len(got), func(i int) error {
 			got[i] = i * i
 			sum.Add(1)
 			return nil
@@ -204,7 +204,7 @@ func TestForEach(t *testing.T) {
 		}
 	}
 	// n = 0 is a no-op.
-	if err := forEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+	if err := (Options{Procs: 4}).forEach(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -213,7 +213,7 @@ func TestForEachErrorCancels(t *testing.T) {
 	boom := errors.New("boom")
 	for _, procs := range []int{1, 4} {
 		var ran atomic.Int64
-		err := forEach(procs, 1000, func(i int) error {
+		err := (Options{Procs: procs}).forEach(1000, func(i int) error {
 			ran.Add(1)
 			if i == 3 {
 				return boom

@@ -59,27 +59,32 @@ func RunDirectory(o Options, procs int) ([]DirectoryRow, error) {
 		procs = 16
 	}
 	rows := make([]DirectoryRow, len(o.Apps))
-	if err := forEach(o.Procs, len(o.Apps), func(i int) error {
-		app := o.Apps[i]
-		dir := directory.New(procs)
-		dird := core.New(core.Config{Threads: procs, Procs: procs, D: 16, Directory: dir})
-		snoop := core.New(core.Config{Threads: procs, Procs: procs, D: 16})
-		if _, err := o.runSim("directory run", app, procs, sim.Config{
-			Seed: o.BaseSeed, Procs: procs,
-			Observers: []trace.Observer{snoop, dird},
-		}); err != nil {
-			return err
-		}
-		st := dir.Stats()
-		rows[i] = DirectoryRow{
-			App:           app.Name,
-			Requests:      st.Requests,
-			Forwards:      st.Forwards,
-			SnoopMessages: st.Requests * uint64(procs-1),
-			MemTsMessages: st.MemTsMessages,
-			RacesMatch:    snoop.RaceCount() == dird.RaceCount(),
-		}
-		return nil
+	// The simulated processor count is part of the run identity (it is not in
+	// CampaignMeta), so journals from different -dirprocs values never alias.
+	campaign := fmt.Sprintf("directory@%d", procs)
+	if err := o.forEach(len(o.Apps), func(i int) error {
+		return o.journaledRun(campaign, i, 0, &rows[i], func() error {
+			app := o.Apps[i]
+			dir := directory.New(procs)
+			dird := core.New(core.Config{Threads: procs, Procs: procs, D: 16, Directory: dir})
+			snoop := core.New(core.Config{Threads: procs, Procs: procs, D: 16})
+			if _, err := o.runSim("directory run", app, procs, sim.Config{
+				Seed: o.BaseSeed, Procs: procs,
+				Observers: []trace.Observer{snoop, dird},
+			}); err != nil {
+				return err
+			}
+			st := dir.Stats()
+			rows[i] = DirectoryRow{
+				App:           app.Name,
+				Requests:      st.Requests,
+				Forwards:      st.Forwards,
+				SnoopMessages: st.Requests * uint64(procs-1),
+				MemTsMessages: st.MemTsMessages,
+				RacesMatch:    snoop.RaceCount() == dird.RaceCount(),
+			}
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}

@@ -46,42 +46,47 @@ func RunOverhead(o Options) ([]OverheadRow, Figure, error) {
 
 	// Each (app, seed) pair is one independent baseline+CORD measurement;
 	// the flat pair list fans out across o.Procs workers and aggregates in
-	// index order, keeping per-row sums identical at any worker count.
+	// index order, keeping per-row sums identical at any worker count. The
+	// json tags make each measurement journal-able under checkpointing.
 	type measurement struct {
-		baseCycles, cordCycles uint64
-		checks, memTs          uint64
-		logBytes               int
+		BaseCycles uint64 `json:"base_cycles"`
+		CordCycles uint64 `json:"cord_cycles"`
+		Checks     uint64 `json:"checks"`
+		MemTs      uint64 `json:"mem_ts"`
+		LogBytes   int    `json:"log_bytes"`
 	}
 	ms := make([]measurement, len(o.Apps)*seeds)
-	if err := forEach(o.Procs, len(ms), func(k int) error {
-		app, sd := o.Apps[k/seeds], uint64(k%seeds)
-		seed := o.BaseSeed + 31*sd
-		base, err := o.runSim("baseline for", app, o.Threads, sim.Config{
-			Seed: seed, Jitter: 2,
-			Cost: machine.New(machine.DefaultConfig()),
+	if err := o.forEach(len(ms), func(k int) error {
+		return o.journaledRun("overhead", k/seeds, k%seeds, &ms[k], func() error {
+			app, sd := o.Apps[k/seeds], uint64(k%seeds)
+			seed := o.BaseSeed + 31*sd
+			base, err := o.runSim("baseline for", app, o.Threads, sim.Config{
+				Seed: seed, Jitter: 2,
+				Cost: machine.New(machine.DefaultConfig()),
+			})
+			if err != nil {
+				return err
+			}
+			det := core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16, Record: true})
+			cordRun, err := o.runSim("CORD run for", app, o.Threads, sim.Config{
+				Seed: seed, Jitter: 2,
+				Cost:      machine.New(machine.DefaultConfig()),
+				Observers: []trace.Observer{det},
+				Primary:   det,
+			})
+			if err != nil {
+				return err
+			}
+			st := det.Stats()
+			ms[k] = measurement{
+				BaseCycles: base.Cycles,
+				CordCycles: cordRun.Cycles,
+				Checks:     st.CheckRequests,
+				MemTs:      st.MemTsBroadcasts,
+				LogBytes:   det.Log().SizeBytes(),
+			}
+			return nil
 		})
-		if err != nil {
-			return err
-		}
-		det := core.New(core.Config{Threads: o.Threads, Procs: o.Threads, D: 16, Record: true})
-		cordRun, err := o.runSim("CORD run for", app, o.Threads, sim.Config{
-			Seed: seed, Jitter: 2,
-			Cost:      machine.New(machine.DefaultConfig()),
-			Observers: []trace.Observer{det},
-			Primary:   det,
-		})
-		if err != nil {
-			return err
-		}
-		st := det.Stats()
-		ms[k] = measurement{
-			baseCycles: base.Cycles,
-			cordCycles: cordRun.Cycles,
-			checks:     st.CheckRequests,
-			memTs:      st.MemTsBroadcasts,
-			logBytes:   det.Log().SizeBytes(),
-		}
-		return nil
 	}); err != nil {
 		return nil, Figure{}, err
 	}
@@ -92,11 +97,11 @@ func RunOverhead(o Options) ([]OverheadRow, Figure, error) {
 		row := OverheadRow{App: app.Name}
 		for sd := 0; sd < seeds; sd++ {
 			m := ms[appIdx*seeds+sd]
-			row.BaselineCycles += m.baseCycles
-			row.CordCycles += m.cordCycles
-			row.CheckRequests += m.checks
-			row.MemTsBroadcasts += m.memTs
-			row.LogBytes += m.logBytes
+			row.BaselineCycles += m.BaseCycles
+			row.CordCycles += m.CordCycles
+			row.CheckRequests += m.Checks
+			row.MemTsBroadcasts += m.MemTs
+			row.LogBytes += m.LogBytes
 		}
 		row.Relative = float64(row.CordCycles) / float64(row.BaselineCycles)
 		rows = append(rows, row)

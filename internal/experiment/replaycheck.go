@@ -45,23 +45,25 @@ func ReplayFigure(rows []ReplayRow) Figure {
 func RunReplayCheck(o Options) ([]ReplayRow, error) {
 	o = o.withDefaults()
 	rows := make([]ReplayRow, len(o.Apps))
-	if err := forEach(o.Procs, len(o.Apps), func(i int) error {
-		app := o.Apps[i]
-		out, err := replay.RecordAndReplay(app.Build(o.Scale, o.Threads), replay.Options{
-			Seed: o.BaseSeed + 1, Jitter: campaignJitter,
+	if err := o.forEach(len(o.Apps), func(i int) error {
+		return o.journaledRun("replay", i, 0, &rows[i], func() error {
+			app := o.Apps[i]
+			out, err := replay.RecordAndReplay(app.Build(o.Scale, o.Threads), replay.Options{
+				Seed: o.BaseSeed + 1, Jitter: campaignJitter,
+			})
+			if err != nil {
+				return fmt.Errorf("experiment: replaying %s: %w", app.Name, err)
+			}
+			rows[i] = ReplayRow{
+				App:        app.Name,
+				Accesses:   out.Recorded.Accesses,
+				LogEntries: out.Log.Len(),
+				LogBytes:   out.Log.SizeBytes(),
+				Match:      out.Match,
+				Mismatch:   out.Mismatch,
+			}
+			return nil
 		})
-		if err != nil {
-			return fmt.Errorf("experiment: replaying %s: %w", app.Name, err)
-		}
-		rows[i] = ReplayRow{
-			App:        app.Name,
-			Accesses:   out.Recorded.Accesses,
-			LogEntries: out.Log.Len(),
-			LogBytes:   out.Log.SizeBytes(),
-			Match:      out.Match,
-			Mismatch:   out.Mismatch,
-		}
-		return nil
 	}); err != nil {
 		return nil, err
 	}

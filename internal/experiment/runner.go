@@ -20,15 +20,39 @@
 // index order, so the output is bit-identical at Procs: 1 and Procs: N.
 // Execution order affects only wall-clock time; seeds, not scheduling,
 // define results.
+//
+// # Campaigns are crash-safe
+//
+// The same property makes campaigns resumable: a run's identity — campaign
+// name, a fingerprint of the campaign configuration, application index, run
+// index — names its outcome completely. With Options.Checkpoint set, every
+// completed run's outcome is appended to a crash-safe journal
+// (internal/checkpoint) keyed by that identity, and a restarted campaign
+// loads journaled outcomes instead of re-simulating them. Aggregation code
+// is unchanged and order-deterministic, so a campaign resumed after a crash
+// produces artifacts byte-identical to an uninterrupted one.
+//
+// Per-run failures are classified: transient failures (anything carrying a
+// Transient() bool method, e.g. faults injected by internal/chaos) are
+// retried under Options.Retry with exponential backoff and deterministic
+// jitter, while everything else aborts the campaign. Closing
+// Options.Interrupt stops new runs from dispatching, lets in-flight runs
+// finish (and journal), and surfaces ErrInterrupted — the graceful-drain
+// path cordbench wires to SIGINT/SIGTERM.
 package experiment
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
+	"cord/internal/checkpoint"
 	"cord/internal/sim"
 	"cord/internal/workload"
 )
@@ -38,6 +62,65 @@ import (
 // different interleavings (§3.4 methodology). Overhead runs use a smaller
 // jitter of their own to keep cycle counts comparable.
 const campaignJitter = 7
+
+// ErrInterrupted reports that a campaign stopped early because
+// Options.Interrupt closed. In-flight runs were drained and journaled first,
+// so a checkpointed campaign can be resumed from where it stopped.
+var ErrInterrupted = errors.New("experiment: campaign interrupted")
+
+// Retry bounds how a campaign retries one run's transient failures. The
+// attempt budget covers the first try: Attempts 3 means one try plus at most
+// two retries. Backoff doubles from BaseDelay up to MaxDelay, plus a
+// deterministic jitter derived from the run's identity — retry *timing*
+// varies, retry *outcomes* cannot, because runs are pure functions of their
+// seeds.
+type Retry struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (r Retry) withDefaults() Retry {
+	if r.Attempts <= 0 {
+		r.Attempts = 3
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 100 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 2 * time.Second
+	}
+	return r
+}
+
+// delay is the backoff before attempt+1: BaseDelay doubled per failed
+// attempt, capped at MaxDelay, plus up to 50% deterministic jitter keyed on
+// the run identity (so parallel retries do not thundering-herd in lockstep,
+// and tests reproduce the same schedule).
+func (r Retry) delay(key string, attempt int) time.Duration {
+	d := r.BaseDelay
+	for i := 1; i < attempt && d < r.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, attempt)
+	return d + time.Duration(h.Sum64()%uint64(d/2+1))
+}
+
+// transienter is the failure-classification contract: errors that declare
+// themselves transient (chaos-injected faults, and any future genuinely
+// retryable condition) are retried; everything else is fatal to the
+// campaign.
+type transienter interface{ Transient() bool }
+
+// isTransient classifies one run failure.
+func isTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
 
 // runSim executes one simulation of app under the campaign's shared
 // conventions: the workload is built at the campaign's Scale, cfg.Jitter
@@ -57,53 +140,195 @@ func (o Options) runSim(stage string, app workload.App, threads int, cfg sim.Con
 	return res, nil
 }
 
-// forEach runs fn(i) for every i in [0, n) on up to procs concurrent
+// fingerprint condenses the campaign configuration that determines run
+// outcomes — base seed, scale, threads, injections, app list — into a short
+// stable token embedded in every checkpoint key. A journal written under one
+// configuration is silently inapplicable to any other: lookups simply miss.
+func (o Options) fingerprint() string {
+	b, err := json.Marshal(o.Meta())
+	if err != nil { // CampaignMeta always marshals
+		return "unfingerprintable"
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// runKey is the deterministic identity of one campaign run — the checkpoint
+// journal key. It embeds the checkpoint schema version so outcome-shape
+// changes invalidate stale journals instead of mis-decoding them.
+func (o Options) runKey(campaign string, app, run int) string {
+	return fmt.Sprintf("v%d|%s|%s|app=%d|run=%d",
+		checkpoint.SchemaVersion, campaign, o.fingerprint(), app, run)
+}
+
+// journaledRun executes one campaign run with the full robustness ladder:
+// checkpoint skip, chaos fault injection, transient retry with backoff, and
+// completion journaling. out must point at the run's JSON-encodable outcome
+// cell; fn computes it. On a checkpoint hit the journaled outcome is decoded
+// into out and fn never runs — which is what makes resumed campaigns
+// byte-identical: the aggregation sees exactly the bytes the original run
+// produced.
+func (o Options) journaledRun(campaign string, app, run int, out any, fn func() error) error {
+	key := o.runKey(campaign, app, run)
+	if o.Checkpoint != nil {
+		if ok, err := o.Checkpoint.Lookup(key, out); err != nil {
+			return fmt.Errorf("experiment: resuming %s: %w", key, err)
+		} else if ok {
+			return nil
+		}
+	}
+
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = o.Chaos.RunFault(key, attempt)
+		if err == nil {
+			err = fn()
+		}
+		if err == nil || !isTransient(err) || attempt >= o.Retry.Attempts {
+			break
+		}
+		d := o.Retry.delay(key, attempt)
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "retry %s: attempt %d/%d failed transiently (%v); backing off %v\n",
+				key, attempt, o.Retry.Attempts, err, d)
+		}
+		sleepInterruptible(d, o.Interrupt)
+	}
+	if err != nil {
+		if isTransient(err) {
+			return fmt.Errorf("experiment: %s: transient failure persisted through %d attempts: %w",
+				key, o.Retry.Attempts, err)
+		}
+		return err
+	}
+
+	if o.Checkpoint != nil {
+		aerr := o.Chaos.JournalFault()
+		if aerr == nil {
+			aerr = o.Checkpoint.Append(key, out)
+		}
+		if aerr != nil && o.Progress != nil {
+			// A journal failure costs durability, not correctness: the run's
+			// outcome is already in memory, it just re-executes on resume.
+			fmt.Fprintf(o.Progress, "checkpoint: %s not journaled (%v); the run would re-execute on resume\n",
+				key, aerr)
+		}
+	}
+	o.Chaos.RunCompleted()
+	return nil
+}
+
+// sleepInterruptible waits d, returning early if stop closes.
+func sleepInterruptible(d time.Duration, stop <-chan struct{}) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+	}
+}
+
+// interrupted reports whether o.Interrupt has closed.
+func (o Options) interrupted() bool {
+	select {
+	case <-o.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to o.Procs concurrent
 // workers. fn must write its result into index-keyed storage (a slice cell
 // it alone owns), so that collected output is independent of scheduling;
-// aggregation then happens in index order on the caller's side. The first
-// error cancels the shared context, which stops new work from being
-// dispatched (runs already in flight finish), and is the error returned.
-func forEach(procs, n int, fn func(i int) error) error {
+// aggregation then happens in index order on the caller's side.
+//
+// The first error cancels the shared context, which stops new work from
+// being dispatched; runs already in flight finish. Workers that fail after
+// the cancellation still record their own first error, and forEach returns
+// every distinct per-worker first error joined with errors.Join — a
+// campaign that fails on three applications at once reports all three, not
+// whichever happened to lose the race.
+//
+// Closing o.Interrupt likewise stops dispatch and drains in-flight runs
+// (journaling them, when checkpointing is on), then forEach returns
+// ErrInterrupted.
+func (o Options) forEach(n int, fn func(i int) error) error {
+	procs := o.Procs
 	if procs > n {
 		procs = n
 	}
 	if procs <= 1 {
 		for i := 0; i < n; i++ {
+			if o.interrupted() {
+				return ErrInterrupted
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	ctx, cancel := context.WithCancelCause(context.Background())
-	defer cancel(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	idx := make(chan int)
+	errs := make([]error, procs)
 	var wg sync.WaitGroup
 	for w := 0; w < procs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
 				if ctx.Err() != nil {
 					continue // drain remaining indices after cancellation
 				}
 				if err := fn(i); err != nil {
-					cancel(err)
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
+	interrupted := false
 feed:
 	for i := 0; i < n; i++ {
 		select {
 		case idx <- i:
 		case <-ctx.Done():
 			break feed
+		case <-o.Interrupt:
+			interrupted = true
+			break feed
 		}
 	}
 	close(idx)
 	wg.Wait()
-	return context.Cause(ctx)
+
+	// Distinct first-per-worker errors, in worker order for determinism of
+	// structure; duplicates (the same wrapped failure observed by several
+	// workers) collapse.
+	var distinct []error
+	seen := map[string]bool{}
+	for _, err := range errs {
+		if err == nil || seen[err.Error()] {
+			continue
+		}
+		seen[err.Error()] = true
+		distinct = append(distinct, err)
+	}
+	if len(distinct) > 0 {
+		return errors.Join(distinct...)
+	}
+	if interrupted || o.interrupted() {
+		return ErrInterrupted
+	}
+	return nil
 }
 
 // syncWriter serializes concurrent Write calls so progress lines from

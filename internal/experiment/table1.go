@@ -38,25 +38,28 @@ func Table1Figure(rows []Table1Row) Figure {
 
 // RunTable1 sizes every application with one plain run. The per-app runs
 // are independent and fan out across o.Procs workers; rows come back in
-// Apps order regardless of worker count.
+// Apps order regardless of worker count. With Options.Checkpoint set,
+// journaled rows are loaded instead of re-simulated.
 func RunTable1(o Options) ([]Table1Row, error) {
 	o = o.withDefaults()
 	rows := make([]Table1Row, len(o.Apps))
-	if err := forEach(o.Procs, len(o.Apps), func(i int) error {
-		app := o.Apps[i]
-		res, err := o.runSim("sizing", app, o.Threads, sim.Config{Seed: o.BaseSeed})
-		if err != nil {
-			return err
-		}
-		rows[i] = Table1Row{
-			App:           app.Name,
-			PaperInput:    app.Input,
-			Accesses:      res.Accesses,
-			Instructions:  res.Ops,
-			SyncInstances: res.SyncInstances,
-			Footprint:     res.Mem.Footprint(),
-		}
-		return nil
+	if err := o.forEach(len(o.Apps), func(i int) error {
+		return o.journaledRun("table1", i, 0, &rows[i], func() error {
+			app := o.Apps[i]
+			res, err := o.runSim("sizing", app, o.Threads, sim.Config{Seed: o.BaseSeed})
+			if err != nil {
+				return err
+			}
+			rows[i] = Table1Row{
+				App:           app.Name,
+				PaperInput:    app.Input,
+				Accesses:      res.Accesses,
+				Instructions:  res.Ops,
+				SyncInstances: res.SyncInstances,
+				Footprint:     res.Mem.Footprint(),
+			}
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"cord/internal/record"
+)
+
+// FuzzDetectRequest drives the full request-admission path of POST
+// /v1/detect — strict JSON decoding, defaulting, validation — with arbitrary
+// bodies. The invariants: no panic, and everything that survives Validate is
+// genuinely in-domain (the simulation layer never sees out-of-range
+// parameters).
+func FuzzDetectRequest(f *testing.F) {
+	f.Add(`{"app":"fft","seed":1}`)
+	f.Add(`{"app":"lu","seed":18446744073709551615,"scale":2,"threads":8,"d":256,"inject":3}`)
+	f.Add(`{"app":"","seed":-1}`)
+	f.Add(`{"app":"fft","unknown_knob":true}`)
+	f.Add(`{"app":"fft","scale":1e9}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`{"app":"fft"`)
+	f.Fuzz(func(t *testing.T, body string) {
+		r, err := http.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(body))
+		if err != nil {
+			t.Skip()
+		}
+		var req DetectRequest
+		if err := decodeJSONBody(r, &req); err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("decode failure %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		req.ApplyDefaults()
+		if err := req.Validate(); err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("validation failure %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		if req.Scale < 1 || req.Scale > MaxScale || req.Threads < 1 || req.Threads > MaxThreads || req.D < 1 {
+			t.Fatalf("Validate accepted out-of-domain request %+v", req)
+		}
+	})
+}
+
+// FuzzReplayParams drives the POST /v1/replay admission path with arbitrary
+// query strings and order-log bodies: query parsing, validation, binary log
+// decoding, and schedule extraction. The handler must classify every
+// malformed input as a client error — never panic, never let an out-of-domain
+// request reach the engine.
+func FuzzReplayParams(f *testing.F) {
+	var l record.Log
+	l.Append(record.Entry{Clock: 1, Thread: 0, Instr: 7})
+	var goodLog bytes.Buffer
+	if err := l.EncodeTo(&goodLog); err != nil {
+		f.Fatal(err)
+	}
+	f.Add("app=fft&seed=1&threads=4", goodLog.Bytes())
+	f.Add("app=fft&seed=1&inject_thread=2&inject_nth=5", goodLog.Bytes())
+	f.Add("app=nosuch&seed=x", []byte{})
+	f.Add("seed=18446744073709551616", []byte("CORD"))
+	f.Add("threads=-1&inject_thread=99", goodLog.Bytes())
+	f.Add("", []byte{})
+	f.Fuzz(func(t *testing.T, query string, logBytes []byte) {
+		req, err := parseReplayQuery(&http.Request{URL: &url.URL{RawQuery: query}})
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("query failure %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		req.ApplyDefaults()
+		if err := req.Validate(); err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("validation failure %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		if req.Threads < 1 || req.Threads > MaxThreads || req.InjectThread >= req.Threads {
+			t.Fatalf("Validate accepted out-of-domain request %+v", req)
+		}
+		log, err := record.DecodeFrom(bytes.NewReader(logBytes))
+		if err != nil {
+			return // malformed log: rejected before any simulation
+		}
+		// Schedule extraction must stay panic-free on any decoded log.
+		if _, err := log.Schedule(req.Threads); err != nil {
+			return
+		}
+	})
+}
