@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures serve loadtest smoke-service resume-smoke fuzz-smoke clean
+.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures serve loadtest smoke-service stream-smoke stream-perf resume-smoke fuzz-smoke clean
 
 check: fmt vet build test
 
@@ -22,10 +22,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiment campaign runner fans runs across goroutines; keep it
-# race-clean. Requires cgo (CGO_ENABLED=1) on most platforms.
+# The concurrent subsystems — the campaign runner's goroutine fan-out, the
+# service's worker pool and stream sessions, and the incremental decoder
+# they share — must stay race-clean. Requires cgo (CGO_ENABLED=1) on most
+# platforms.
 race:
-	$(GO) test -race ./internal/experiment/...
+	$(GO) test -race ./internal/experiment/... ./internal/server/... ./internal/record/...
 
 # Campaign scaling benchmark: compare procs=1 vs procs=4 lines.
 bench:
@@ -75,10 +77,23 @@ LOAD_FLAGS ?= -sweep 1,2,4,8 -n 16 -app fft -scale 2
 loadtest:
 	$(GO) run ./cmd/cordload -addr http://127.0.0.1$(ADDR) $(LOAD_FLAGS)
 
-# End-to-end service smoke: build cordd, start it, run one detect and one
-# replay session over HTTP, SIGTERM, assert a clean drain. CI runs this.
+# End-to-end service smoke: build cordd, start it, run one detect session,
+# one replay session, and a streaming round-trip (recorded log through
+# /v1/stream, embedded detect block byte-compared against one-shot
+# /v1/detect) over HTTP, SIGTERM, assert a clean drain. CI runs this.
 smoke-service:
 	sh scripts/service-smoke.sh
+
+# The streaming round-trip alone (plus its one-shot reference session):
+# fastest signal when iterating on the /v1/stream path.
+stream-smoke:
+	sh scripts/service-smoke.sh stream
+
+# Measure sustained streaming ingest throughput (cordload -stream against a
+# scratch cordd) and merge the records/sec into bench/BENCH_perf.json — see
+# EXPERIMENTS.md, "Sustained-throughput streaming".
+stream-perf:
+	sh scripts/stream-perf.sh
 
 # End-to-end crash-recovery smoke: kill -9 a live checkpointed campaign,
 # resume it, assert byte-identical artifacts; SIGTERM drain; 20% transient

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	cordd -addr :8080 -workers 4 -queue 16 -timeout 60s
+//	cordd -addr :8080 -workers 4 -queue 16 -timeout 60s -streams 8
 //
-// Endpoints: POST /v1/detect, POST /v1/replay, GET /healthz, GET /metrics.
-// SIGINT/SIGTERM drain in-flight sessions before the process exits.
+// Endpoints: POST /v1/detect, POST /v1/replay, POST /v1/stream (streaming
+// order-record ingestion, PROTOCOL.md §4), GET /healthz, GET /metrics.
+// SIGINT/SIGTERM drain in-flight sessions — streams included — before the
+// process exits.
 package main
 
 import (
@@ -28,7 +30,8 @@ import (
 // validateFlags rejects out-of-domain service parameters before binding the
 // socket, mirroring the other cord binaries: bad invocations exit 2 with
 // usage instead of failing at the first request.
-func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int64) error {
+func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int64,
+	streams int, streamIdle time.Duration, streamMaxBytes int64, streamMaxFrames uint64) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be at least 1 (or 0 for NumCPU)")
 	}
@@ -43,6 +46,18 @@ func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int
 	}
 	if maxBody < 1 {
 		return fmt.Errorf("-max-body must be at least 1 byte")
+	}
+	if streams < 1 {
+		return fmt.Errorf("-streams must be at least 1")
+	}
+	if streamIdle <= 0 {
+		return fmt.Errorf("-stream-idle must be positive")
+	}
+	if streamMaxBytes < 1 {
+		return fmt.Errorf("-stream-max-bytes must be at least 1 byte")
+	}
+	if streamMaxFrames < 1 {
+		return fmt.Errorf("-stream-max-frames must be at least 1")
 	}
 	return nil
 }
@@ -59,20 +74,30 @@ func run() int {
 		timeout = flag.Duration("timeout", 60*time.Second, "per-session execution timeout")
 		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 		maxBody = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+
+		streams         = flag.Int("streams", 8, "concurrent /v1/stream sessions")
+		streamIdle      = flag.Duration("stream-idle", 30*time.Second, "stream idle timeout (eviction with 408)")
+		streamMaxBytes  = flag.Int64("stream-max-bytes", 256<<20, "per-stream byte quota")
+		streamMaxFrames = flag.Uint64("stream-max-frames", 16<<20, "per-stream frame quota")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*workers, *queue, *timeout, *drain, *maxBody); err != nil {
+	if err := validateFlags(*workers, *queue, *timeout, *drain, *maxBody,
+		*streams, *streamIdle, *streamMaxBytes, *streamMaxFrames); err != nil {
 		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
 		flag.Usage()
 		return 2
 	}
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		SessionTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		SessionTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		MaxStreams:        *streams,
+		StreamIdleTimeout: *streamIdle,
+		MaxStreamBytes:    *streamMaxBytes,
+		MaxStreamFrames:   *streamMaxFrames,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

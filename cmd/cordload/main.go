@@ -1,11 +1,14 @@
 // Command cordload drives a running cordd with a concurrent-client sweep
 // and reports throughput and latency per stage — the load-testing workflow
-// of EXPERIMENTS.md. It is a pure stdlib client: point it at any cordd.
+// of EXPERIMENTS.md. It speaks only the service's wire formats (JSON bodies
+// and the PROTOCOL.md binary log), so it can be pointed at any cordd.
 //
 // Usage:
 //
 //	cordd -addr :8080 &
 //	cordload -addr http://127.0.0.1:8080 -sweep 1,2,4,8 -n 32 -app fft
+//	cordload -addr http://127.0.0.1:8080 -stream -sweep 1,2,4 -n 8 \
+//	    -frames 200000 -perf-out bench/BENCH_perf.json
 //
 // Each stage issues -n detect sessions (seeds base, base+1, ...) from the
 // stage's client count and prints wall-clock, requests/s and latency
@@ -14,14 +17,24 @@
 // up to -retries attempts, counting retries separately so pushback stays
 // visible in the summary. The final section echoes the server's /metrics
 // session counters.
+//
+// With -stream, the sweep drives POST /v1/stream instead: every session
+// uploads a synthetic order log of -frames wire-format entries in chunked
+// pieces (verify=0, so the measurement is pure ingest, not detection
+// re-execution) and each stage reports sustained records/sec. -perf-out
+// merges the best stage into a BENCH_perf.json perf-trajectory artifact as
+// its "streaming" slice, preserving any benchmark rows already recorded.
 package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"os"
 	"sort"
@@ -31,6 +44,8 @@ import (
 	"sync/atomic"
 	"text/tabwriter"
 	"time"
+
+	"cord/internal/perf"
 )
 
 // detectRequest mirrors server.DetectRequest; cordload speaks the wire
@@ -68,6 +83,9 @@ func parseSweep(s string) ([]int, error) {
 func validateFlags(n, scale, threads, d, retries int, retryCap time.Duration) error {
 	if n < 1 {
 		return fmt.Errorf("-n must be at least 1")
+	}
+	if threads > 1<<16-1 {
+		return fmt.Errorf("-threads must fit the wire format's 16-bit thread id")
 	}
 	if scale < 1 {
 		return fmt.Errorf("-scale must be at least 1")
@@ -159,11 +177,20 @@ func run() int {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 		retries  = flag.Int("retries", 5, "attempts per session before a 429 becomes a hard error")
 		retryCap = flag.Duration("retry-cap", 5*time.Second, "upper bound on one Retry-After sleep")
+		stream   = flag.Bool("stream", false, "drive POST /v1/stream sessions instead of /v1/detect")
+		frames   = flag.Int("frames", 200000, "order-record frames per stream session (with -stream)")
+		chunk    = flag.Int("chunk", 64<<10, "upload chunk size in bytes (with -stream)")
+		perfOut  = flag.String("perf-out", "", "merge the best -stream stage into this BENCH_perf.json")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*n, *scale, *threads, *d, *retries, *retryCap); err != nil {
 		fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+	if *stream && (*frames < 1 || *chunk < 1) {
+		fmt.Fprintf(os.Stderr, "cordload: -frames and -chunk must be at least 1\n")
 		flag.Usage()
 		return 2
 	}
@@ -181,6 +208,11 @@ func run() int {
 	}
 
 	policy := retryPolicy{attempts: *retries, fallback: 250 * time.Millisecond, cap: *retryCap}
+	if *stream {
+		return runStreamSweep(client, *addr, stages, *n, policy, streamParams{
+			app: *app, seed: *seed, threads: *threads, frames: *frames, chunk: *chunk,
+		}, *perfOut)
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "clients\tok\tretries\terrors\twall\treq/s\tp50\tp95\tmax")
 	for _, c := range stages {
@@ -268,6 +300,191 @@ func runStage(client *http.Client, addr string, c, n int, policy retryPolicy, ba
 	wg.Wait()
 	res.wall = time.Since(start)
 	return res
+}
+
+// streamParams configures one streaming-throughput sweep.
+type streamParams struct {
+	app     string
+	seed    uint64
+	threads int
+	frames  int
+	chunk   int
+}
+
+// syntheticStream builds one wire-format order log (PROTOCOL.md §2) of the
+// requested frame count: threads take turns, each thread's clock advances by
+// one per round, so the stream satisfies the per-thread ordering invariants
+// any real recording has. Built once per sweep and shared read-only by every
+// session.
+func syntheticStream(frames, threads int) []byte {
+	b := make([]byte, 16+8*frames)
+	copy(b[0:4], "CORD")
+	binary.LittleEndian.PutUint32(b[4:8], 1)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(frames))
+	off := 16
+	for i := 0; i < frames; i++ {
+		binary.LittleEndian.PutUint16(b[off:], uint16(i/threads))   // clock
+		binary.LittleEndian.PutUint16(b[off+2:], uint16(i%threads)) // thread
+		binary.LittleEndian.PutUint32(b[off+4:], 100)               // instr
+		off += 8
+	}
+	return b
+}
+
+// chunkReader hides the body's length (forcing chunked transfer encoding)
+// and caps every Read at n bytes, so the server ingests the session the way
+// a live recorder would deliver it: incrementally.
+type chunkReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+type streamStageResult struct {
+	streams   int
+	ok        int
+	retries   int
+	errors    int
+	wall      time.Duration
+	latencies []time.Duration
+}
+
+// runStreamSweep drives the sustained-throughput mode: each stage runs n
+// /v1/stream sessions from c concurrent clients and reports records/sec —
+// ingested frames per second of stage wall-clock. The best stage is merged
+// into the BENCH_perf.json artifact when -perf-out names one.
+func runStreamSweep(client *http.Client, addr string, stages []int, n int, policy retryPolicy, p streamParams, perfOut string) int {
+	body := syntheticStream(p.frames, p.threads)
+	fmt.Printf("streaming %d sessions/stage, %d frames (%d bytes) each, chunk %d\n",
+		n, p.frames, len(body), p.chunk)
+
+	var best *perf.StreamingPerf
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "streams\tok\tretries\terrors\twall\trecords/s\tp50\tp95\tmax")
+	exit := 0
+	for _, c := range stages {
+		res := runStreamStage(client, addr, c, n, policy, p, body)
+		sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+		recs := float64(res.ok) * float64(p.frames) / res.wall.Seconds()
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2fs\t%.0f\t%s\t%s\t%s\n",
+			res.streams, res.ok, res.retries, res.errors, res.wall.Seconds(), recs,
+			quantile(res.latencies, 0.50).Round(time.Millisecond),
+			quantile(res.latencies, 0.95).Round(time.Millisecond),
+			quantile(res.latencies, 1.00).Round(time.Millisecond))
+		w.Flush()
+		if res.errors > 0 {
+			fmt.Fprintf(os.Stderr, "cordload: stage %d finished with %d hard errors\n", c, res.errors)
+			exit = 1
+		}
+		if res.ok > 0 && (best == nil || recs > best.RecordsPerSec) {
+			best = &perf.StreamingPerf{
+				Streams:          c,
+				Sessions:         res.ok,
+				FramesPerSession: p.frames,
+				RecordsPerSec:    recs,
+				WallClockMs:      float64(res.wall) / float64(time.Millisecond),
+			}
+		}
+	}
+
+	metrics, err := fetch(client, addr+"/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordload: fetching /metrics: %v\n", err)
+		return 1
+	}
+	fmt.Println("\nserver /metrics after the sweep:")
+	os.Stdout.Write(metrics)
+
+	if perfOut != "" {
+		if best == nil {
+			fmt.Fprintf(os.Stderr, "cordload: no successful stage; not touching %s\n", perfOut)
+			return 1
+		}
+		if err := mergeStreamingPerf(perfOut, best); err != nil {
+			fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nrecorded %.0f records/sec (streams=%d) into %s\n",
+			best.RecordsPerSec, best.Streams, perfOut)
+	}
+	return exit
+}
+
+// runStreamStage uploads n synthetic streams from c concurrent clients.
+// 429 pushback (all stream slots busy) retries under the same policy the
+// detect sweep uses.
+func runStreamStage(client *http.Client, addr string, c, n int, policy retryPolicy, p streamParams, body []byte) streamStageResult {
+	res := streamStageResult{streams: c}
+	query := fmt.Sprintf("/v1/stream?app=%s&seed=%d&threads=%d&verify=0", p.app, p.seed, p.threads)
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < c; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1)-1 >= int64(n) {
+					return
+				}
+				for attempt := 1; ; attempt++ {
+					t0 := time.Now()
+					resp, err := client.Post(addr+query, "application/octet-stream",
+						&chunkReader{r: bytes.NewReader(body), n: p.chunk})
+					lat := time.Since(t0)
+					throttled := false
+					var sleep time.Duration
+					mu.Lock()
+					switch {
+					case err != nil:
+						res.errors++
+					case resp.StatusCode == http.StatusOK:
+						res.ok++
+						res.latencies = append(res.latencies, lat)
+					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.attempts:
+						res.retries++
+						throttled = true
+						sleep = policy.retryAfter(resp.Header.Get("Retry-After"), attempt)
+					default:
+						res.errors++
+					}
+					mu.Unlock()
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					if !throttled {
+						break
+					}
+					time.Sleep(sleep)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	return res
+}
+
+// mergeStreamingPerf sets the streaming slice of the perf-trajectory
+// artifact, preserving benchmark and campaign rows if the file already
+// holds a readable report (a missing file starts a fresh one).
+func mergeStreamingPerf(path string, s *perf.StreamingPerf) error {
+	r, err := perf.Read(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		r = perf.NewReport()
+	} else if err != nil {
+		return err
+	}
+	r.Streaming = s
+	return perf.Write(path, r)
 }
 
 func fetch(client *http.Client, url string) ([]byte, error) {

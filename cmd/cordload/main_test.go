@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
+
+	"cord/internal/perf"
+	"cord/internal/record"
 )
 
 // TestValidateFlags: load parameters must be rejected before the sweep
@@ -130,6 +135,86 @@ func TestParseSweep(t *testing.T) {
 		if _, err := parseSweep(bad); err == nil {
 			t.Errorf("parseSweep(%q): expected error", bad)
 		}
+	}
+}
+
+// TestSyntheticStreamDecodes: the generated wire bytes are a well-formed
+// order log — they decode, declare the right entry count, and satisfy the
+// per-thread unwrap invariants a real recording has (Schedule accepts them).
+func TestSyntheticStreamDecodes(t *testing.T) {
+	const frames, threads = 100_000, 4
+	b := syntheticStream(frames, threads)
+	l, err := record.DecodeFrom(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("DecodeFrom: %v", err)
+	}
+	if l.Len() != frames {
+		t.Fatalf("decoded %d entries, want %d", l.Len(), frames)
+	}
+	if _, err := l.Schedule(threads); err != nil {
+		t.Fatalf("synthetic stream violates order invariants: %v", err)
+	}
+}
+
+// TestRunStreamStage: the stage drives n uploads, each delivering the whole
+// body, and classifies 429 pushback as retries rather than errors.
+func TestRunStreamStage(t *testing.T) {
+	body := syntheticStream(1000, 4)
+	var mu sync.Mutex
+	var got []int
+	throttleOnce := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		if throttleOnce {
+			throttleOnce = false
+			mu.Unlock()
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "slots busy", http.StatusTooManyRequests)
+			return
+		}
+		got = append(got, len(b))
+		mu.Unlock()
+		w.Write([]byte(`{"schema":1}`))
+	}))
+	defer srv.Close()
+
+	policy := retryPolicy{attempts: 3, fallback: time.Millisecond, cap: 10 * time.Millisecond}
+	p := streamParams{app: "fft", seed: 1, threads: 4, frames: 1000, chunk: 256}
+	res := runStreamStage(srv.Client(), srv.URL, 2, 4, policy, p, body)
+	if res.ok != 4 || res.errors != 0 || res.retries != 1 {
+		t.Fatalf("ok=%d errors=%d retries=%d, want 4/0/1", res.ok, res.errors, res.retries)
+	}
+	for i, n := range got {
+		if n != len(body) {
+			t.Fatalf("upload %d delivered %d bytes, want %d", i, n, len(body))
+		}
+	}
+}
+
+// TestMergeStreamingPerf: merging creates a fresh artifact when none exists
+// and preserves recorded benchmarks when one does.
+func TestMergeStreamingPerf(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_perf.json")
+	s1 := &perf.StreamingPerf{Streams: 4, Sessions: 8, FramesPerSession: 1000, RecordsPerSec: 12345}
+	if err := mergeStreamingPerf(path, s1); err != nil {
+		t.Fatalf("merge into missing file: %v", err)
+	}
+	r, err := perf.Read(path)
+	if err != nil || r.Streaming == nil || r.Streaming.RecordsPerSec != 12345 {
+		t.Fatalf("fresh artifact: %+v err=%v", r, err)
+	}
+
+	r.Benchmarks = append(r.Benchmarks, perf.BenchResult{Name: "x/y", NsPerOp: 1})
+	if err := perf.Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeStreamingPerf(path, &perf.StreamingPerf{Streams: 2, RecordsPerSec: 99}); err != nil {
+		t.Fatalf("merge into existing file: %v", err)
+	}
+	r2, err := perf.Read(path)
+	if err != nil || len(r2.Benchmarks) != 1 || r2.Streaming.Streams != 2 {
+		t.Fatalf("merged artifact lost rows: %+v err=%v", r2, err)
 	}
 }
 

@@ -15,13 +15,16 @@
 package perf
 
 import (
+	"bytes"
 	"math/rand/v2"
 	"testing"
 
 	"cord/internal/baseline"
 	"cord/internal/cache"
+	"cord/internal/clock"
 	"cord/internal/core"
 	"cord/internal/memsys"
+	"cord/internal/record"
 	"cord/internal/sim"
 	"cord/internal/trace"
 )
@@ -57,6 +60,7 @@ func Kernels() []Kernel {
 		{Name: "detector/unbounded", Setup: setupDetectorUnbounded},
 		{Name: "baseline/vec-infcache", Setup: setupVecInf},
 		{Name: "baseline/ideal", Setup: setupIdeal},
+		{Name: "record/stream-decode", Setup: setupStreamDecode},
 		{Name: "engine/lock-ping", Setup: setupEngine},
 	}
 }
@@ -207,6 +211,46 @@ func setupVecInf() func(i int) {
 
 func setupIdeal() func(i int) {
 	return observerKernel(baseline.NewIdeal(4))
+}
+
+// setupStreamDecode prices the /v1/stream ingest hot path: one iteration
+// feeds one transport-sized chunk of an encoded order log through the
+// incremental decoder (record.StreamDecoder), restarting the stream when it
+// is exhausted. ns/op here is the per-chunk decode cost the streaming
+// service pays at line rate; allocs/op must stay 0 on the steady state.
+func setupStreamDecode() func(i int) {
+	var l record.Log
+	for k := 0; k < 1<<16; k++ {
+		l.Append(record.Entry{Clock: clock.Scalar(k / 4), Thread: uint16(k % 4), Instr: uint32(k | 1)})
+	}
+	var buf bytes.Buffer
+	if err := l.EncodeTo(&buf); err != nil {
+		panic(err)
+	}
+	stream := buf.Bytes()
+	const chunk = 32 << 10
+	d := record.NewStreamDecoder()
+	off := 0
+	var sink uint64
+	emit := func(e record.Entry) error { sink += uint64(e.Instr); return nil }
+	return func(i int) {
+		if off == 0 {
+			d.Reset()
+		}
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := d.Feed(stream[off:end], emit); err != nil {
+			panic(err)
+		}
+		if off = end; off == len(stream) {
+			if err := d.Close(); err != nil {
+				panic(err)
+			}
+			off = 0
+		}
+	}
 }
 
 // setupEngine runs a complete small execution per iteration: two threads

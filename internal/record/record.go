@@ -4,41 +4,18 @@
 // instructions executed with that clock value (32 bits). The log, ordered by
 // logical time, drives deterministic replay (internal/replay).
 //
-// # Binary wire format
-//
-// An encoded log (EncodeTo / DecodeFrom — the format cordreplay -log writes,
-// cordlog inspects, and POST /v1/replay accepts) is a 16-byte header
-// followed by a flat array of fixed-width entries. All multi-byte fields are
-// little-endian; there is no varint or other variable-width encoding
-// anywhere in the stream, so entry i always lives at byte offset 16 + 8*i:
-//
-//	offset  size  field
-//	0       4     magic "CORD" (0x43 0x4F 0x52 0x44)
-//	4       4     format version, uint32 (currently 1)
-//	8       8     entry count N, uint64
-//	16      8*N   entries
-//
-// Each entry is 8 bytes (EntryBytes), mirroring the hardware log record of
-// §2.7.1:
-//
-//	offset  size  field
-//	0       2     Clock: the thread's 16-bit scalar clock *before* the change
-//	2       2     Thread: thread ID
-//	4       4     Instr: instructions retired while the clock held that value
-//
-// # Clock wraparound
-//
-// Clock is a raw 16-bit value and wraps; the stream stores it as recorded.
-// Schedule unwraps per thread: a thread's entries appear in append order,
-// and consecutive entries from one thread always lie within the sliding
-// comparison window of §2.7.5 (clock.Window = 2^15−1), so the per-thread
-// delta uint16(cur−prev) is unambiguous and accumulates into a monotone
-// 64-bit logical time. A delta exceeding the window means the stream does
-// not come from a well-formed recording ("clock regressed").
+// The binary wire format (EncodeTo / DecodeFrom / StreamDecoder — what
+// cordreplay -log writes, cordlog inspects, and POST /v1/replay and
+// /v1/stream accept) is specified normatively in PROTOCOL.md: §2 for the
+// header/entry layout, §3 for the clock-unwrap window and order invariants.
+// In short: a 16-byte little-endian header (magic "CORD", version 1, entry
+// count) followed by fixed-width 8-byte entries, so entry i always lives at
+// byte offset 16 + 8*i.
 //
 // # Error taxonomy
 //
-// DecodeFrom distinguishes transport failures from malformed input:
+// Decoding distinguishes transport failures from malformed input
+// (PROTOCOL.md §5 maps these onto the service's HTTP error codes):
 //
 //   - Errors from the underlying reader (including a header shorter than 16
 //     bytes) are returned wrapped as-is: they are I/O problems, not format
@@ -50,10 +27,10 @@
 //     clean EOF mid-array is promoted), so callers can tell "self-declared
 //     length vs actual bytes disagree" apart from other format damage.
 //
-// The header's count field is untrusted: DecodeFrom bounds it (maxEntries)
-// and caps preallocation, so a hostile header fails on read, not on OOM.
+// The header's count field is untrusted: decoders bound it (MaxEntries)
+// and cap preallocation, so a hostile header fails on read, not on OOM.
 // This is what lets the cordd service feed client-supplied bodies straight
-// into DecodeFrom behind a size limit.
+// into the decoder behind a size limit.
 package record
 
 import (
@@ -130,42 +107,49 @@ func (l *Log) EncodeTo(w io.Writer) error {
 // ErrBadFormat reports a malformed encoded log.
 var ErrBadFormat = errors.New("record: malformed log stream")
 
-// DecodeFrom reads a log previously written by EncodeTo.
+// DecodeFrom reads a log previously written by EncodeTo. It is the one-shot
+// entry point over the same incremental parser the streaming ingest path
+// uses (StreamDecoder): the header is validated first, then entries are read
+// in large chunks — never trusting the header's count for preallocation —
+// and exactly 16 + 8*N bytes are consumed from r, leaving any trailing bytes
+// unread.
 func DecodeFrom(r io.Reader) (*Log, error) {
-	var hdr [16]byte
+	var hdr [HeaderBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("record: reading header: %w", err)
 	}
-	if [4]byte(hdr[:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
-	}
-	n := binary.LittleEndian.Uint64(hdr[8:16])
-	const maxEntries = 1 << 30 // 8 GiB of log; far beyond any real run
-	if n > maxEntries {
-		return nil, fmt.Errorf("%w: implausible entry count %d", ErrBadFormat, n)
+	var d StreamDecoder
+	if err := d.Feed(hdr[:], nil); err != nil {
+		return nil, err
 	}
 	// The count is untrusted input: a malformed header must not make us
 	// allocate gigabytes before a single entry has been read. Preallocate at
 	// most maxPrealloc entries and let append grow the slice as real data
-	// arrives — a truncated stream then fails on ReadFull, not on OOM.
-	const maxPrealloc = 64 << 10
-	l := &Log{entries: make([]Entry, 0, min(n, maxPrealloc))}
-	var buf [EntryBytes]byte
-	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			if err == io.EOF {
+	// arrives — a truncated stream then fails on read, not on OOM.
+	l := &Log{entries: make([]Entry, 0, min(d.Declared(), maxPrealloc))}
+	emit := func(e Entry) error { l.entries = append(l.entries, e); return nil }
+	buf := make([]byte, 32<<10)
+	var fed uint64
+	total := d.Declared() * EntryBytes
+	for fed < total {
+		n := uint64(len(buf))
+		if rem := total - fed; rem < n {
+			n = rem
+		}
+		m, err := io.ReadFull(r, buf[:n])
+		if m > 0 {
+			if ferr := d.Feed(buf[:m], emit); ferr != nil {
+				return nil, ferr
+			}
+			fed += uint64(m)
+		}
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return nil, fmt.Errorf("%w: truncated at entry %d of %d: %w", ErrBadFormat, i, n, err)
+			return nil, fmt.Errorf("%w: truncated at entry %d of %d: %w",
+				ErrBadFormat, d.Decoded(), d.Declared(), err)
 		}
-		l.entries = append(l.entries, Entry{
-			Clock:  clock.Scalar(binary.LittleEndian.Uint16(buf[0:2])),
-			Thread: binary.LittleEndian.Uint16(buf[2:4]),
-			Instr:  binary.LittleEndian.Uint32(buf[4:8]),
-		})
 	}
 	return l, nil
 }

@@ -1,0 +1,175 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cord/internal/clock"
+)
+
+// HeaderBytes is the size of the stream header (magic, version, entry count).
+const HeaderBytes = 16
+
+// MaxEntries bounds the entry count a decoder accepts from a stream header.
+// 2^30 entries is 8 GiB of log — far beyond any real run; a larger count can
+// only come from a corrupt or hostile header.
+const MaxEntries = 1 << 30
+
+// maxPrealloc caps the entry-slice preallocation DecodeFrom performs from the
+// untrusted header count, so a hostile header fails on read, not on OOM.
+const maxPrealloc = 64 << 10
+
+// StreamDecoder incrementally decodes the binary order-log wire format
+// (PROTOCOL.md) from arbitrarily sized chunks: feed it whatever byte windows
+// the transport delivers and it emits each complete Entry exactly once,
+// carrying at most one partial frame (15 bytes) between calls. It never
+// materializes the log, so a session's memory cost is independent of stream
+// length — this is what lets the cordd streaming endpoint ingest logs at
+// line rate from a fixed reusable read buffer.
+//
+// Lifecycle: zero or more Feed calls, then Close when the transport reports
+// end of stream. Close is where truncation is detected: a stream that ends
+// mid-header or before the header's declared entry count wraps both
+// ErrBadFormat and io.ErrUnexpectedEOF. Structural damage (bad magic,
+// unsupported version, implausible count, bytes continuing past the declared
+// count) is reported by Feed as ErrBadFormat immediately.
+type StreamDecoder struct {
+	carry    [HeaderBytes]byte // partial header or partial entry between Feeds
+	carryLen int
+	header   bool // header parsed and validated
+	declared uint64
+	decoded  uint64
+	failed   error // sticky: a broken stream stays broken
+}
+
+// NewStreamDecoder returns a decoder ready for the first chunk.
+func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
+
+// Reset returns the decoder to its initial state so it can be reused for a
+// new stream without reallocating.
+func (d *StreamDecoder) Reset() { *d = StreamDecoder{} }
+
+// HeaderSeen reports whether the 16-byte header has been parsed; Declared is
+// only meaningful afterwards.
+func (d *StreamDecoder) HeaderSeen() bool { return d.header }
+
+// Declared returns the entry count the stream header promised.
+func (d *StreamDecoder) Declared() uint64 { return d.declared }
+
+// Decoded returns the number of entries emitted so far.
+func (d *StreamDecoder) Decoded() uint64 { return d.decoded }
+
+// parseHeader validates a complete 16-byte header.
+func (d *StreamDecoder) parseHeader(hdr []byte) error {
+	if [4]byte(hdr[:4]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != version {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > MaxEntries {
+		return fmt.Errorf("%w: implausible entry count %d", ErrBadFormat, n)
+	}
+	d.header = true
+	d.declared = n
+	return nil
+}
+
+// decodeEntry parses one 8-byte wire entry.
+func decodeEntry(b []byte) Entry {
+	return Entry{
+		Clock:  clock.Scalar(binary.LittleEndian.Uint16(b[0:2])),
+		Thread: binary.LittleEndian.Uint16(b[2:4]),
+		Instr:  binary.LittleEndian.Uint32(b[4:8]),
+	}
+}
+
+// Feed consumes one chunk of the stream, calling emit once per completed
+// entry, in stream order. The chunk may split the header or an entry at any
+// byte; the decoder buffers the partial frame internally, so callers can
+// reuse p immediately after Feed returns. A non-nil error from emit aborts
+// the Feed and is returned verbatim (entries already emitted stay emitted);
+// the decoder itself then refuses further input. Format errors wrap
+// ErrBadFormat.
+func (d *StreamDecoder) Feed(p []byte, emit func(Entry) error) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	fail := func(err error) error {
+		d.failed = err
+		return err
+	}
+	// Complete the header from the carry buffer first.
+	if !d.header {
+		n := copy(d.carry[d.carryLen:HeaderBytes], p)
+		d.carryLen += n
+		p = p[n:]
+		if d.carryLen < HeaderBytes {
+			return nil
+		}
+		if err := d.parseHeader(d.carry[:HeaderBytes]); err != nil {
+			return fail(err)
+		}
+		d.carryLen = 0
+	}
+	// Complete a partial entry from the carry buffer.
+	if d.carryLen > 0 {
+		n := copy(d.carry[d.carryLen:EntryBytes], p)
+		d.carryLen += n
+		p = p[n:]
+		if d.carryLen < EntryBytes {
+			return nil
+		}
+		d.carryLen = 0
+		if err := d.emitOne(d.carry[:EntryBytes], emit); err != nil {
+			return fail(err)
+		}
+	}
+	// Whole entries parse straight out of the caller's buffer: no copy.
+	for len(p) >= EntryBytes {
+		if err := d.emitOne(p[:EntryBytes], emit); err != nil {
+			return fail(err)
+		}
+		p = p[EntryBytes:]
+	}
+	if len(p) > 0 {
+		if d.decoded == d.declared {
+			return fail(fmt.Errorf("%w: stream continues past the declared %d entries", ErrBadFormat, d.declared))
+		}
+		d.carryLen = copy(d.carry[:], p)
+	}
+	return nil
+}
+
+func (d *StreamDecoder) emitOne(b []byte, emit func(Entry) error) error {
+	if d.decoded == d.declared {
+		return fmt.Errorf("%w: stream continues past the declared %d entries", ErrBadFormat, d.declared)
+	}
+	d.decoded++
+	if emit == nil {
+		return nil
+	}
+	return emit(decodeEntry(b))
+}
+
+// Close declares end of stream and verifies completeness. A stream cut short
+// — mid-header, mid-entry, or before the declared count — is reported as
+// ErrBadFormat wrapping io.ErrUnexpectedEOF, so callers can tell
+// "self-declared length vs delivered bytes disagree" apart from other format
+// damage (the DecodeFrom taxonomy, applied to an explicit transport EOF).
+func (d *StreamDecoder) Close() error {
+	if d.failed != nil {
+		return d.failed
+	}
+	if !d.header {
+		return fmt.Errorf("%w: truncated header (%d of %d bytes): %w",
+			ErrBadFormat, d.carryLen, HeaderBytes, io.ErrUnexpectedEOF)
+	}
+	if d.carryLen > 0 || d.decoded < d.declared {
+		return fmt.Errorf("%w: truncated at entry %d of %d: %w",
+			ErrBadFormat, d.decoded, d.declared, io.ErrUnexpectedEOF)
+	}
+	return nil
+}

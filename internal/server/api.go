@@ -17,10 +17,19 @@
 //	                   the Ideal, vector-clock and CORD detectors and
 //	                   returns a DetectResponse.
 //	POST /v1/replay  — binary order log body (the format documented in
-//	                   internal/record) with run parameters in the query
+//	                   PROTOCOL.md) with run parameters in the query
 //	                   string; replays the log and returns a ReplayResponse.
+//	POST /v1/stream  — long-lived streaming ingestion of one binary order
+//	                   log, decoded incrementally chunk by chunk; answers
+//	                   with an end-of-stream StreamResponse summary (and,
+//	                   unless verify=0, the one-shot DetectResponse of the
+//	                   authoritative re-execution). See PROTOCOL.md §4.
 //	GET  /healthz    — liveness/readiness (503 while draining).
 //	GET  /metrics    — cumulative Metrics counters and latency histograms.
+//
+// Streams have their own admission control (slots, byte/frame quotas, idle
+// timeouts) because they are long-lived by design and must not starve the
+// bounded pool the one-shot sessions run on.
 package server
 
 import (
@@ -141,9 +150,18 @@ type DetectResponse struct {
 // CORD detector — the cordsim configuration. Cancelling ctx stops the engine
 // mid-run; the returned error is then ctx's error.
 func RunDetect(ctx context.Context, req DetectRequest) (*DetectResponse, error) {
+	resp, _, err := runDetectSession(ctx, req)
+	return resp, err
+}
+
+// runDetectSession is RunDetect plus the order log the CORD detector
+// recorded during the run. The streaming endpoint uses the log to check a
+// client-streamed recording against the authoritative re-execution; the
+// one-shot endpoint discards it.
+func runDetectSession(ctx context.Context, req DetectRequest) (*DetectResponse, *record.Log, error) {
 	req.ApplyDefaults()
 	if err := req.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	app, _ := workload.ByName(req.App)
 
@@ -160,9 +178,9 @@ func RunDetect(ctx context.Context, req DetectRequest) (*DetectResponse, error) 
 	}, app.Build(req.Scale, req.Threads)).Run()
 	if err != nil {
 		if errors.Is(err, sim.ErrCanceled) && ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	resp := &DetectResponse{
@@ -188,7 +206,7 @@ func RunDetect(ctx context.Context, req DetectRequest) (*DetectResponse, error) 
 		}
 		resp.Races = append(resp.Races, r.String())
 	}
-	return resp, nil
+	return resp, det.Log(), nil
 }
 
 // ReplayRequest carries the run parameters of POST /v1/replay (query-string

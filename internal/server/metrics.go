@@ -43,6 +43,35 @@ type SessionCounters struct {
 	RejectedDraining uint64 `json:"rejected_draining"`
 }
 
+// StreamCounters are the cumulative /v1/stream session counters. Every
+// started stream ends in exactly one of completed, failed, canceled,
+// timed-out, idle-timeout or quota-exceeded; rejected requests never
+// started. The byte/frame totals count what the decoder actually ingested,
+// including partial streams that later failed.
+type StreamCounters struct {
+	// Started streams were admitted (drain check and slot both passed).
+	Started uint64 `json:"started"`
+	// Completed streams produced a 2xx summary.
+	Completed uint64 `json:"completed"`
+	// Failed streams ended in a format, order or parameter error.
+	Failed uint64 `json:"failed"`
+	// Canceled streams lost their client mid-session.
+	Canceled uint64 `json:"canceled"`
+	// TimedOut streams exceeded the session timeout during verification.
+	TimedOut uint64 `json:"timed_out"`
+	// IdleTimeout streams were evicted for not delivering bytes in time.
+	IdleTimeout uint64 `json:"idle_timeout"`
+	// QuotaExceeded streams hit their per-session byte or frame quota.
+	QuotaExceeded uint64 `json:"quota_exceeded"`
+	// RejectedLimit requests got 429: every stream slot was busy.
+	RejectedLimit uint64 `json:"rejected_limit"`
+	// RejectedDraining requests got 503: the server was shutting down.
+	RejectedDraining uint64 `json:"rejected_draining"`
+	// BytesIngested / FramesIngested total the decoded stream volume.
+	BytesIngested  uint64 `json:"bytes_ingested"`
+	FramesIngested uint64 `json:"frames_ingested"`
+}
+
 // Metrics is the GET /metrics body: a schema-versioned snapshot of the
 // cumulative counters, following the internal/experiment JSON conventions
 // (fixed field order; map keys sort, so equal states encode to equal bytes).
@@ -53,6 +82,7 @@ type Metrics struct {
 	QueueDepth    int                  `json:"queue_depth"`
 	QueueCapacity int                  `json:"queue_capacity"`
 	Sessions      SessionCounters      `json:"sessions"`
+	Streams       StreamCounters       `json:"streams"`
 	Endpoints     map[string]Histogram `json:"endpoints"`
 }
 
@@ -60,6 +90,7 @@ type Metrics struct {
 type metrics struct {
 	mu        sync.Mutex
 	sessions  SessionCounters
+	streams   StreamCounters
 	endpoints map[string]*hist
 }
 
@@ -81,6 +112,13 @@ func newMetrics() *metrics {
 func (m *metrics) bump(fn func(*SessionCounters)) {
 	m.mu.Lock()
 	fn(&m.sessions)
+	m.mu.Unlock()
+}
+
+// bumpStream applies fn to the stream counter set under the lock.
+func (m *metrics) bumpStream(fn func(*StreamCounters)) {
+	m.mu.Lock()
+	fn(&m.streams)
 	m.mu.Unlock()
 }
 
@@ -114,6 +152,7 @@ func (m *metrics) snapshot(uptime time.Duration, workers, queueDepth, queueCap i
 		QueueDepth:    queueDepth,
 		QueueCapacity: queueCap,
 		Sessions:      m.sessions,
+		Streams:       m.streams,
 		Endpoints:     make(map[string]Histogram, len(m.endpoints)),
 	}
 	for ep, h := range m.endpoints {

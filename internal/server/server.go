@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -28,6 +29,21 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (default 8 MiB) — both the JSON
 	// detect requests and the binary order logs feeding record.DecodeFrom.
 	MaxBodyBytes int64
+
+	// MaxStreams bounds concurrent /v1/stream sessions (default 8). Streams
+	// are long-lived and bypass the worker queue, so they get their own
+	// admission slot pool; a full pool answers 429 + Retry-After.
+	MaxStreams int
+	// StreamIdleTimeout is the longest a stream may go without delivering a
+	// byte before the session is evicted with 408 (default 30s). It bounds
+	// liveness, not total duration: an active stream may run indefinitely.
+	StreamIdleTimeout time.Duration
+	// MaxStreamBytes is the per-session byte quota of one stream
+	// (default 256 MiB); exceeding it answers 413.
+	MaxStreamBytes int64
+	// MaxStreamFrames is the per-session frame quota of one stream
+	// (default 16Mi entries); exceeding it answers 413.
+	MaxStreamFrames uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +58,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 8
+	}
+	if c.StreamIdleTimeout <= 0 {
+		c.StreamIdleTimeout = 30 * time.Second
+	}
+	if c.MaxStreamBytes <= 0 {
+		c.MaxStreamBytes = 256 << 20
+	}
+	if c.MaxStreamFrames == 0 {
+		c.MaxStreamFrames = 16 << 20
 	}
 	return c
 }
@@ -70,13 +98,14 @@ type session struct {
 // a bounded worker pool. It implements http.Handler. Create with New; stop
 // with Shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *session
-	stop  chan struct{}
-	wg    sync.WaitGroup
-	m     *metrics
-	start time.Time
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *session
+	streams chan struct{} // stream admission slots (semaphore)
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	m       *metrics
+	start   time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -98,6 +127,7 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		queue:     make(chan *session, cfg.QueueDepth),
+		streams:   make(chan struct{}, cfg.MaxStreams),
 		stop:      make(chan struct{}),
 		m:         newMetrics(),
 		start:     time.Now(),
@@ -107,6 +137,7 @@ func New(cfg Config) *Server {
 	s.cond = sync.NewCond(&s.mu)
 	s.mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	s.mux.HandleFunc("POST /v1/replay", s.handleReplay)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -393,22 +424,85 @@ func statusForBodyError(err error) int {
 	return http.StatusBadRequest
 }
 
-// errorBody is the uniform error response shape.
+// errorBody is the uniform error response shape. Code is the machine-readable
+// taxonomy entry (PROTOCOL.md §errors): clients branch on it instead of
+// parsing the human-readable Error text.
 type errorBody struct {
 	Schema int    `json:"schema"`
+	Code   string `json:"code"`
 	Error  string `json:"error"`
 }
 
+// Error-taxonomy codes. Every non-2xx body carries exactly one.
+const (
+	codeBadRequest     = "bad_request"     // parameters out of domain or unparseable
+	codeBadFormat      = "bad_format"      // structurally damaged binary log (record.ErrBadFormat)
+	codeTruncated      = "truncated"       // log ended before its declared entry count
+	codeOrderViolation = "order_violation" // entries violate the order-recording invariants
+	codeTooLarge       = "too_large"       // request body over MaxBodyBytes
+	codeQuotaExceeded  = "quota_exceeded"  // stream exceeded its byte or frame quota
+	codeIdleTimeout    = "idle_timeout"    // stream idle past StreamIdleTimeout
+	codeQueueFull      = "queue_full"      // session queue full
+	codeStreamLimit    = "stream_limit"    // all MaxStreams slots busy
+	codeDraining       = "draining"        // server is shutting down
+	codeTimeout        = "timeout"         // session exceeded SessionTimeout
+	codeInternal       = "internal"        // server-side failure
+)
+
+// errorCode classifies err (preferred) or falls back on the HTTP status, so
+// every error path lands on a taxonomy entry without each call site naming
+// one. Call sites with a more specific verdict (idle timeout, quotas, stream
+// admission) pass it explicitly via errorResultCode.
+func errorCode(status int, err error) string {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.Is(err, record.ErrBadFormat) && errors.Is(err, io.ErrUnexpectedEOF):
+		return codeTruncated
+	case errors.Is(err, record.ErrBadFormat):
+		return codeBadFormat
+	case errors.As(err, &tooLarge):
+		return codeTooLarge
+	case errors.Is(err, errOrderViolation):
+		return codeOrderViolation
+	case errors.Is(err, ErrBadRequest):
+		return codeBadRequest
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusRequestEntityTooLarge:
+		return codeTooLarge
+	case http.StatusTooManyRequests:
+		return codeQueueFull
+	case http.StatusServiceUnavailable:
+		return codeDraining
+	case http.StatusGatewayTimeout:
+		return codeTimeout
+	default:
+		return codeInternal
+	}
+}
+
 func errorResult(status int, err error) sessionResult {
-	b, encErr := encodeJSON(errorBody{Schema: SchemaVersion, Error: err.Error()})
+	return errorResultCode(status, errorCode(status, err), err)
+}
+
+func errorResultCode(status int, code string, err error) sessionResult {
+	b, encErr := encodeJSON(errorBody{Schema: SchemaVersion, Code: code, Error: err.Error()})
 	if encErr != nil { // can't happen: errorBody always marshals
-		b = []byte(`{"schema":1,"error":"internal error"}` + "\n")
+		b = []byte(`{"schema":1,"code":"internal","error":"internal error"}` + "\n")
 	}
 	return sessionResult{status: status, body: b}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	res := errorResult(status, err)
+	writeBody(w, res.status, res.body)
+}
+
+// writeErrorCode writes an error body with an explicit taxonomy code.
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	res := errorResultCode(status, code, err)
 	writeBody(w, res.status, res.body)
 }
 

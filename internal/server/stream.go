@@ -1,0 +1,390 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"cord/internal/clock"
+	"cord/internal/record"
+)
+
+// This file implements POST /v1/stream: the streaming order-record ingestion
+// session of PROTOCOL.md §4. The request body is one encoded order log
+// delivered as arbitrarily sized chunks; entries are decoded incrementally
+// (record.StreamDecoder, fixed reusable read buffer) and folded into
+// per-thread shard state on the fly — the session's memory cost is constant
+// in stream length. At end of stream the server optionally re-executes the
+// named run and compares the recorded log against the streamed one by
+// content hash, answering with a deterministic StreamResponse summary.
+//
+// Streams are long-lived, so they do not ride the worker queue: they get
+// their own admission slots (Config.MaxStreams), per-session byte/frame
+// quotas, and an idle timeout enforced with per-chunk read deadlines.
+
+// errOrderViolation marks a stream whose entries break the order-recording
+// invariants of PROTOCOL.md §3 (a clock delta outside the comparison window,
+// or an entry naming a thread the session does not have). The HTTP layer maps
+// it to 422 / code "order_violation".
+var errOrderViolation = errors.New("server: order-record invariant violated")
+
+// streamShard is one thread's slice of a session's detector state. Shards
+// are independent by construction — entry ordering constraints are
+// per-thread (PROTOCOL.md §3) — which is what lets concurrent sessions and
+// future parallel ingest scale without shared write state.
+type streamShard struct {
+	started   bool
+	lastClock clock.Scalar
+	unwrapped uint64
+
+	entries      uint64
+	instructions uint64
+	firstTime    uint64
+}
+
+// ShardSummary is one thread's end-of-stream summary in a StreamResponse.
+type ShardSummary struct {
+	Thread       int    `json:"thread"`
+	Entries      uint64 `json:"entries"`
+	Instructions uint64 `json:"instructions"`
+	FirstTime    uint64 `json:"first_time"`
+	LastTime     uint64 `json:"last_time"`
+}
+
+// streamIngest is the per-session ingest state: one shard per declared
+// thread plus a running FNV-1a content hash over the entry wire bytes. It is
+// the emit target of the incremental decoder; no entry is retained.
+type streamIngest struct {
+	shards    []streamShard
+	hash      uint64 // FNV-1a over each entry's 8 wire bytes
+	frames    uint64
+	maxFrames uint64
+}
+
+const fnvOffset64, fnvPrime64 = 14695981039346656037, 1099511628211
+
+func newStreamIngest(threads int, maxFrames uint64) *streamIngest {
+	return &streamIngest{
+		shards:    make([]streamShard, threads),
+		hash:      fnvOffset64,
+		maxFrames: maxFrames,
+	}
+}
+
+// errStreamQuota marks a stream that exceeded its frame quota; the handler
+// maps it to 413 / code "quota_exceeded".
+var errStreamQuota = errors.New("server: stream quota exceeded")
+
+// ingest folds one decoded entry into the session state: quota check, shard
+// unwrap (the same per-thread clock arithmetic record.Schedule performs, but
+// online), and the content hash.
+func (g *streamIngest) ingest(e record.Entry) error {
+	if g.frames >= g.maxFrames {
+		return fmt.Errorf("%w: frame quota (%d frames) exhausted", errStreamQuota, g.maxFrames)
+	}
+	t := int(e.Thread)
+	if t >= len(g.shards) {
+		return fmt.Errorf("%w: entry %d names thread %d, session has %d threads",
+			errOrderViolation, g.frames, t, len(g.shards))
+	}
+	sh := &g.shards[t]
+	if !sh.started {
+		sh.started = true
+		sh.unwrapped = uint64(e.Clock)
+		sh.firstTime = sh.unwrapped
+	} else {
+		delta := uint16(e.Clock - sh.lastClock)
+		if int(delta) > clock.Window {
+			return fmt.Errorf("%w: entry %d clock regressed for thread %d", errOrderViolation, g.frames, t)
+		}
+		sh.unwrapped += uint64(delta)
+	}
+	sh.lastClock = e.Clock
+	sh.entries++
+	sh.instructions += uint64(e.Instr)
+	g.frames++
+
+	var b [record.EntryBytes]byte
+	binary.LittleEndian.PutUint16(b[0:2], uint16(e.Clock))
+	binary.LittleEndian.PutUint16(b[2:4], e.Thread)
+	binary.LittleEndian.PutUint32(b[4:8], e.Instr)
+	for _, c := range b {
+		g.hash = (g.hash ^ uint64(c)) * fnvPrime64
+	}
+	return nil
+}
+
+// summaries renders the non-empty shards in thread order — deterministic, so
+// identical streams produce byte-identical response bodies.
+func (g *streamIngest) summaries() []ShardSummary {
+	out := make([]ShardSummary, 0, len(g.shards))
+	for t := range g.shards {
+		sh := &g.shards[t]
+		if !sh.started {
+			continue
+		}
+		out = append(out, ShardSummary{
+			Thread:       t,
+			Entries:      sh.entries,
+			Instructions: sh.instructions,
+			FirstTime:    sh.firstTime,
+			LastTime:     sh.unwrapped,
+		})
+	}
+	return out
+}
+
+// hashLog computes the same FNV-1a content hash ingest maintains, over an
+// in-memory log — the verification side of the comparison.
+func hashLog(l *record.Log) uint64 {
+	h := fnv.New64a()
+	var b [record.EntryBytes]byte
+	for _, e := range l.Entries() {
+		binary.LittleEndian.PutUint16(b[0:2], uint16(e.Clock))
+		binary.LittleEndian.PutUint16(b[2:4], e.Thread)
+		binary.LittleEndian.PutUint32(b[4:8], e.Instr)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// StreamResponse is the end-of-stream summary of one /v1/stream session.
+// It is a pure function of the streamed bytes and the session parameters:
+// identical streams yield byte-identical bodies. When Verified is true,
+// Detect holds the full one-shot DetectResponse of the authoritative
+// re-execution (byte-identical, after re-encoding, to POST /v1/detect with
+// the same parameters) and LogMatch reports whether the streamed log's
+// content hash equals the re-execution's recorded log.
+type StreamResponse struct {
+	Schema   int            `json:"schema"`
+	App      string         `json:"app"`
+	Seed     uint64         `json:"seed"`
+	Scale    int            `json:"scale"`
+	Threads  int            `json:"threads"`
+	Inject   uint64         `json:"inject,omitempty"`
+	D        int            `json:"d"`
+	Frames   uint64         `json:"frames"`
+	LogBytes uint64         `json:"log_bytes"`
+	LogHash  string         `json:"log_hash"`
+	Shards   []ShardSummary `json:"shards"`
+	Verified bool           `json:"verified"`
+	LogMatch bool           `json:"log_match"`
+	// Detect is kept the last field so text tooling (service-smoke.sh) can
+	// extract the block and compare it against a one-shot /v1/detect body.
+	Detect *DetectResponse `json:"detect,omitempty"`
+}
+
+// parseStreamQuery extracts the session parameters (the DetectRequest
+// domain, query-string encoded — the body is the binary stream) plus the
+// verify flag, which defaults to on.
+func parseStreamQuery(r *http.Request) (DetectRequest, bool, error) {
+	q := r.URL.Query()
+	req := DetectRequest{App: q.Get("app")}
+	var err error
+	if req.Seed, err = queryUint(q.Get("seed"), 0); err != nil {
+		return req, false, fmt.Errorf("%w: seed: %v", ErrBadRequest, err)
+	}
+	if req.Scale, err = queryInt(q.Get("scale"), 0); err != nil {
+		return req, false, fmt.Errorf("%w: scale: %v", ErrBadRequest, err)
+	}
+	if req.Threads, err = queryInt(q.Get("threads"), 0); err != nil {
+		return req, false, fmt.Errorf("%w: threads: %v", ErrBadRequest, err)
+	}
+	if req.Inject, err = queryUint(q.Get("inject"), 0); err != nil {
+		return req, false, fmt.Errorf("%w: inject: %v", ErrBadRequest, err)
+	}
+	if req.D, err = queryInt(q.Get("d"), 0); err != nil {
+		return req, false, fmt.Errorf("%w: d: %v", ErrBadRequest, err)
+	}
+	verify := true
+	switch v := q.Get("verify"); v {
+	case "", "1", "true":
+	case "0", "false":
+		verify = false
+	default:
+		return req, false, fmt.Errorf("%w: verify: want 0 or 1, got %q", ErrBadRequest, v)
+	}
+	return req, verify, nil
+}
+
+// streamReadChunk is the size of the reusable read buffer; one buffer serves
+// the whole session regardless of stream length.
+const streamReadChunk = 32 << 10
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	req, verify, err := parseStreamQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.ApplyDefaults()
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Admission: drain state first, then a stream slot. Accepted streams
+	// count as in-flight work, so Shutdown waits for them like any session.
+	if !s.accept() {
+		s.m.bumpStream(func(c *StreamCounters) { c.RejectedDraining++ })
+		writeErrorCode(w, http.StatusServiceUnavailable, codeDraining, errors.New("server is draining"))
+		return
+	}
+	defer s.release()
+	select {
+	case s.streams <- struct{}{}:
+	default:
+		s.m.bumpStream(func(c *StreamCounters) { c.RejectedLimit++ })
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusTooManyRequests, codeStreamLimit,
+			fmt.Errorf("all %d stream slots are busy", s.cfg.MaxStreams))
+		return
+	}
+	defer func() { <-s.streams }()
+
+	s.m.bumpStream(func(c *StreamCounters) { c.Started++ })
+	start := time.Now()
+	defer func() { s.m.observe(r.URL.Path, time.Since(start)) }()
+	status, code, ferr := s.serveStream(w, r, req, verify)
+	if ferr == nil {
+		return // 2xx summary already written
+	}
+	switch {
+	case status == statusClientGone:
+		s.m.bumpStream(func(c *StreamCounters) { c.Canceled++ })
+		return // nobody left to write to
+	case code == codeIdleTimeout:
+		s.m.bumpStream(func(c *StreamCounters) { c.IdleTimeout++ })
+	case code == codeQuotaExceeded:
+		s.m.bumpStream(func(c *StreamCounters) { c.QuotaExceeded++ })
+	case status == http.StatusGatewayTimeout:
+		s.m.bumpStream(func(c *StreamCounters) { c.TimedOut++ })
+	default:
+		s.m.bumpStream(func(c *StreamCounters) { c.Failed++ })
+	}
+	writeErrorCode(w, status, code, ferr)
+}
+
+// serveStream runs one admitted streaming session: the chunked ingest loop,
+// end-of-stream completeness check, optional verification re-execution, and
+// the summary write. A nil error means the 200 summary was written; any
+// other outcome is returned as (status, taxonomy code, error) for the
+// handler to classify and write.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req DetectRequest, verify bool) (int, string, error) {
+	rc := http.NewResponseController(w)
+	dec := record.NewStreamDecoder()
+	ing := newStreamIngest(req.Threads, s.cfg.MaxStreamFrames)
+	buf := make([]byte, streamReadChunk)
+	var bytesIn int64
+
+	defer func() {
+		s.m.bumpStream(func(c *StreamCounters) {
+			c.BytesIngested += uint64(bytesIn)
+			c.FramesIngested += ing.frames
+		})
+	}()
+
+	for {
+		// The idle clock rearms per chunk: a stream stays admitted as long
+		// as it keeps delivering bytes, no matter how long it runs in total.
+		if err := rc.SetReadDeadline(time.Now().Add(s.cfg.StreamIdleTimeout)); err != nil {
+			return http.StatusInternalServerError, codeInternal,
+				fmt.Errorf("stream transport does not support read deadlines: %w", err)
+		}
+		n, err := r.Body.Read(buf)
+		if n > 0 {
+			if bytesIn += int64(n); bytesIn > s.cfg.MaxStreamBytes {
+				return http.StatusRequestEntityTooLarge, codeQuotaExceeded,
+					fmt.Errorf("%w: byte quota (%d bytes) exhausted", errStreamQuota, s.cfg.MaxStreamBytes)
+			}
+			if ferr := dec.Feed(buf[:n], ing.ingest); ferr != nil {
+				return streamIngestFailure(ferr)
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return http.StatusRequestTimeout, codeIdleTimeout,
+					fmt.Errorf("stream idle for more than %v", s.cfg.StreamIdleTimeout)
+			}
+			// Anything else mid-body is the client going away (reset,
+			// cancelled context, malformed chunking): no one to answer.
+			return statusClientGone, "", err
+		}
+	}
+	// Clear the read deadline so it cannot fire under the verification run
+	// or the response write.
+	rc.SetReadDeadline(time.Time{})
+
+	if err := dec.Close(); err != nil {
+		return streamIngestFailure(err)
+	}
+
+	resp := &StreamResponse{
+		Schema:   SchemaVersion,
+		App:      req.App,
+		Seed:     req.Seed,
+		Scale:    req.Scale,
+		Threads:  req.Threads,
+		Inject:   req.Inject,
+		D:        req.D,
+		Frames:   ing.frames,
+		LogBytes: ing.frames * record.EntryBytes,
+		LogHash:  fmt.Sprintf("%016x", ing.hash),
+		Shards:   ing.summaries(),
+	}
+	if verify {
+		// The authoritative re-execution runs under the session timeout and
+		// the client's context: disconnecting mid-verify cancels the engine
+		// (sim.Config.Cancel) exactly like a one-shot session.
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SessionTimeout)
+		det, log, err := runDetectSession(ctx, req)
+		cancel()
+		switch {
+		case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+			return statusClientGone, "", err
+		case errors.Is(err, context.DeadlineExceeded):
+			return http.StatusGatewayTimeout, codeTimeout,
+				fmt.Errorf("verification run exceeded the %v timeout", s.cfg.SessionTimeout)
+		case err != nil:
+			return http.StatusInternalServerError, codeInternal, err
+		}
+		resp.Verified = true
+		resp.LogMatch = uint64(log.Len()) == ing.frames && hashLog(log) == ing.hash
+		resp.Detect = det
+	}
+
+	b, err := encodeJSON(resp)
+	if err != nil {
+		return http.StatusInternalServerError, codeInternal, err
+	}
+	s.m.bumpStream(func(c *StreamCounters) { c.Completed++ })
+	writeBody(w, http.StatusOK, b)
+	return http.StatusOK, "", nil
+}
+
+// streamIngestFailure maps a decode/ingest error onto (status, code): the
+// taxonomy distinguishes structural damage, truncation, order violations and
+// quota exhaustion so clients can tell a corrupt recording from a short one.
+func streamIngestFailure(err error) (int, string, error) {
+	switch {
+	case errors.Is(err, errStreamQuota):
+		return http.StatusRequestEntityTooLarge, codeQuotaExceeded, err
+	case errors.Is(err, errOrderViolation):
+		return http.StatusUnprocessableEntity, codeOrderViolation, err
+	case errors.Is(err, record.ErrBadFormat) && errors.Is(err, io.ErrUnexpectedEOF):
+		return http.StatusBadRequest, codeTruncated, err
+	case errors.Is(err, record.ErrBadFormat):
+		return http.StatusBadRequest, codeBadFormat, err
+	default:
+		return http.StatusInternalServerError, codeInternal, err
+	}
+}

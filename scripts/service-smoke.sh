@@ -1,10 +1,23 @@
 #!/bin/sh
 # End-to-end smoke test for the cordd service: build it, start it, exercise
-# one detect and one replay session over real HTTP, then SIGTERM it and
-# assert a clean drain. CI runs this; `make smoke-service` runs it locally.
+# one detect session, one replay session, and a streaming round-trip over
+# real HTTP, then SIGTERM it and assert a clean drain. CI runs this;
+# `make smoke-service` runs it locally.
 #
-# Pure POSIX sh + curl + grep: no test framework, no jq.
+# `sh scripts/service-smoke.sh stream` runs only the streaming round-trip
+# (plus the one-shot detect it compares against) — `make stream-smoke`.
+#
+# Pure POSIX sh + curl + grep/sed: no test framework, no jq.
 set -eu
+
+MODE="${1:-all}"
+case "$MODE" in
+all | stream) ;;
+*)
+	echo "usage: $0 [stream]" >&2
+	exit 2
+	;;
+esac
 
 PORT="${CORDD_PORT:-18080}"
 ADDR="127.0.0.1:$PORT"
@@ -47,31 +60,67 @@ until curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"'; do
 done
 echo "service-smoke: healthy after $i polls"
 
-# One detect session: 2xx with a schema-versioned body naming the app.
-curl -sf -X POST "http://$ADDR/v1/detect" \
-	-H 'Content-Type: application/json' \
-	-d '{"app":"fft","seed":3,"threads":4,"inject":5}' \
-	>"$DIR/detect.json" || fail "detect request did not return 2xx"
-grep -q '"schema": 1' "$DIR/detect.json" || fail "detect body missing schema stamp"
-grep -q '"app": "fft"' "$DIR/detect.json" || fail "detect body missing app echo"
-grep -q '"detectors"' "$DIR/detect.json" || fail "detect body missing detector verdicts"
-echo "service-smoke: detect session OK"
-
-# Record a real order log, then replay it through the service: 2xx and a
-# completed verdict.
+# The recorded fixture both the replay and streaming sections use.
 "$DIR/cordreplay" -app fft -seed 9 -log "$DIR/fft.cordlog" >/dev/null \
 	|| fail "cordreplay could not record a log"
-curl -sf -X POST "http://$ADDR/v1/replay?app=fft&seed=9&threads=4" \
-	-H 'Content-Type: application/octet-stream' \
-	--data-binary @"$DIR/fft.cordlog" \
-	>"$DIR/replay.json" || fail "replay request did not return 2xx"
-grep -q '"schema": 1' "$DIR/replay.json" || fail "replay body missing schema stamp"
-grep -q '"completed": true' "$DIR/replay.json" || fail "replay did not complete"
-echo "service-smoke: replay session OK"
 
-# Metrics must show the two completed sessions.
+SESSIONS=0
+if [ "$MODE" = "all" ]; then
+	# One detect session: 2xx with a schema-versioned body naming the app.
+	curl -sf -X POST "http://$ADDR/v1/detect" \
+		-H 'Content-Type: application/json' \
+		-d '{"app":"fft","seed":3,"threads":4,"inject":5}' \
+		>"$DIR/detect.json" || fail "detect request did not return 2xx"
+	grep -q '"schema": 1' "$DIR/detect.json" || fail "detect body missing schema stamp"
+	grep -q '"app": "fft"' "$DIR/detect.json" || fail "detect body missing app echo"
+	grep -q '"detectors"' "$DIR/detect.json" || fail "detect body missing detector verdicts"
+	echo "service-smoke: detect session OK"
+
+	# Replay the recorded log through the service: 2xx and a completed verdict.
+	curl -sf -X POST "http://$ADDR/v1/replay?app=fft&seed=9&threads=4" \
+		-H 'Content-Type: application/octet-stream' \
+		--data-binary @"$DIR/fft.cordlog" \
+		>"$DIR/replay.json" || fail "replay request did not return 2xx"
+	grep -q '"schema": 1' "$DIR/replay.json" || fail "replay body missing schema stamp"
+	grep -q '"completed": true' "$DIR/replay.json" || fail "replay did not complete"
+	echo "service-smoke: replay session OK"
+	SESSIONS=2
+fi
+
+# Streaming round-trip (PROTOCOL.md §4): push the same recorded log through
+# /v1/stream in small chunks, assert the server's re-execution matched it,
+# and check the embedded detect block byte-for-byte against a one-shot
+# /v1/detect answer for the same run.
+curl -sf -X POST "http://$ADDR/v1/detect" \
+	-H 'Content-Type: application/json' \
+	-d '{"app":"fft","seed":9,"threads":4}' \
+	>"$DIR/detect9.json" || fail "one-shot detect (stream reference) did not return 2xx"
+curl -sf -X POST "http://$ADDR/v1/stream?app=fft&seed=9&threads=4" \
+	-H 'Content-Type: application/octet-stream' \
+	-H 'Transfer-Encoding: chunked' \
+	--data-binary @"$DIR/fft.cordlog" \
+	>"$DIR/stream.json" || fail "stream request did not return 2xx"
+grep -q '"schema": 1' "$DIR/stream.json" || fail "stream summary missing schema stamp"
+grep -q '"verified": true' "$DIR/stream.json" || fail "stream summary not verified"
+grep -q '"log_match": true' "$DIR/stream.json" || fail "streamed log did not match the re-execution"
+grep -q '"shards"' "$DIR/stream.json" || fail "stream summary missing shard table"
+
+# "detect" is the last field of the summary (PROTOCOL.md §4.5), so the block
+# runs from its opening line to the line before the closing outer brace.
+# De-indenting it one level must reproduce the one-shot body exactly.
+sed -n '/^  "detect": {$/,$p' "$DIR/stream.json" | sed '$d' |
+	sed -e '1s/.*/{/' -e '2,$s/^  //' >"$DIR/stream-detect.json"
+cmp -s "$DIR/stream-detect.json" "$DIR/detect9.json" \
+	|| fail "embedded detect block is not byte-identical to one-shot /v1/detect"
+echo "service-smoke: streaming round-trip OK (log_match, detect block byte-identical)"
+SESSIONS=$((SESSIONS + 1))
+
+# Metrics must show every completed one-shot session and the stream.
 curl -sf "http://$ADDR/metrics" >"$DIR/metrics.json" || fail "metrics not served"
-grep -q '"completed": 2' "$DIR/metrics.json" || fail "metrics do not show 2 completed sessions"
+grep -q "\"completed\": $SESSIONS" "$DIR/metrics.json" \
+	|| fail "metrics do not show $SESSIONS completed sessions"
+grep -q '"streams"' "$DIR/metrics.json" || fail "metrics missing streams block"
+grep -q '"frames_ingested"' "$DIR/metrics.json" || fail "metrics missing frames_ingested"
 echo "service-smoke: metrics OK"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Sustained-throughput streaming measurement: build cordd, start it, drive
+# concurrent /v1/stream uploads with cordload -stream, and merge the best
+# stage's records/sec into bench/BENCH_perf.json (the `streaming` block —
+# see EXPERIMENTS.md, "Sustained-throughput streaming").
+#
+# Knobs (environment): CORDD_PORT, STREAM_SWEEP, STREAM_N, STREAM_FRAMES,
+# STREAM_CHUNK, PERF_OUT. `make stream-perf` runs the defaults.
+set -eu
+
+PORT="${CORDD_PORT:-18081}"
+ADDR="127.0.0.1:$PORT"
+SWEEP="${STREAM_SWEEP:-1,2,4,8}"
+N="${STREAM_N:-8}"
+FRAMES="${STREAM_FRAMES:-200000}"
+CHUNK="${STREAM_CHUNK:-65536}"
+PERF_OUT="${PERF_OUT:-bench/BENCH_perf.json}"
+DIR="$(mktemp -d)"
+PID=""
+
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -TERM "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "stream-perf: FAIL: $*" >&2
+	if [ -f "$DIR/cordd.log" ]; then
+		echo "--- cordd log ---" >&2
+		cat "$DIR/cordd.log" >&2
+	fi
+	exit 1
+}
+
+echo "stream-perf: building cordd and cordload"
+go build -o "$DIR/cordd" ./cmd/cordd
+go build -o "$DIR/cordload" ./cmd/cordload
+
+echo "stream-perf: starting cordd on $ADDR"
+"$DIR/cordd" -addr "$ADDR" >"$DIR/cordd.log" 2>&1 &
+PID=$!
+
+i=0
+until curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"'; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && fail "server did not become healthy"
+	kill -0 "$PID" 2>/dev/null || fail "cordd exited before becoming healthy"
+	sleep 0.2
+done
+
+"$DIR/cordload" -addr "http://$ADDR" -stream -sweep "$SWEEP" -n "$N" \
+	-frames "$FRAMES" -chunk "$CHUNK" -perf-out "$PERF_OUT" \
+	|| fail "cordload -stream reported hard errors"
+
+grep -q '"streaming"' "$PERF_OUT" || fail "$PERF_OUT gained no streaming block"
+echo "stream-perf: PASS (streaming records/sec merged into $PERF_OUT)"
