@@ -7,7 +7,10 @@
 //	cordd -addr :8080 -workers 4 -queue 16 -timeout 60s -streams 8
 //
 // Endpoints: POST /v1/detect, POST /v1/replay, POST /v1/stream (streaming
-// order-record ingestion, PROTOCOL.md §4), GET /healthz, GET /metrics.
+// order-record ingestion with optional online race detection and duty
+// cycling, PROTOCOL.md §4; -stream-duty sets the default duty percentage,
+// -stream-workers the per-session ingest fan-out), GET /healthz,
+// GET /metrics.
 // SIGINT/SIGTERM drain in-flight sessions — streams included — before the
 // process exits.
 package main
@@ -31,7 +34,8 @@ import (
 // socket, mirroring the other cord binaries: bad invocations exit 2 with
 // usage instead of failing at the first request.
 func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int64,
-	streams int, streamIdle time.Duration, streamMaxBytes int64, streamMaxFrames uint64) error {
+	streams int, streamIdle time.Duration, streamMaxBytes int64, streamMaxFrames uint64,
+	streamDuty, streamWorkers int) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be at least 1 (or 0 for NumCPU)")
 	}
@@ -59,6 +63,14 @@ func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int
 	if streamMaxFrames < 1 {
 		return fmt.Errorf("-stream-max-frames must be at least 1")
 	}
+	// The server treats 0 as "use the default", so the flag's domain starts
+	// at 1; per-session duty=0 remains available via the query parameter.
+	if streamDuty < 1 || streamDuty > 100 {
+		return fmt.Errorf("-stream-duty must be in [1, 100]")
+	}
+	if streamWorkers < 0 {
+		return fmt.Errorf("-stream-workers must be at least 1 (or 0 for the default)")
+	}
 	return nil
 }
 
@@ -79,11 +91,13 @@ func run() int {
 		streamIdle      = flag.Duration("stream-idle", 30*time.Second, "stream idle timeout (eviction with 408)")
 		streamMaxBytes  = flag.Int64("stream-max-bytes", 256<<20, "per-stream byte quota")
 		streamMaxFrames = flag.Uint64("stream-max-frames", 16<<20, "per-stream frame quota")
+		streamDuty      = flag.Int("stream-duty", 100, "default duty %% for detect=online sessions (1-100)")
+		streamWorkers   = flag.Int("stream-workers", 0, "per-session online ingest workers (0 = min(4, NumCPU))")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*workers, *queue, *timeout, *drain, *maxBody,
-		*streams, *streamIdle, *streamMaxBytes, *streamMaxFrames); err != nil {
+		*streams, *streamIdle, *streamMaxBytes, *streamMaxFrames, *streamDuty, *streamWorkers); err != nil {
 		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
 		flag.Usage()
 		return 2
@@ -98,6 +112,8 @@ func run() int {
 		StreamIdleTimeout: *streamIdle,
 		MaxStreamBytes:    *streamMaxBytes,
 		MaxStreamFrames:   *streamMaxFrames,
+		StreamDuty:        *streamDuty,
+		StreamWorkers:     *streamWorkers,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,7 +1,9 @@
 // Command cordload drives a running cordd with a concurrent-client sweep
 // and reports throughput and latency per stage — the load-testing workflow
-// of EXPERIMENTS.md. It speaks only the service's wire formats (JSON bodies
-// and the PROTOCOL.md binary log), so it can be pointed at any cordd.
+// of EXPERIMENTS.md. On the wire it speaks only the service's formats (JSON
+// bodies and the PROTOCOL.md binary log), so it can be pointed at any cordd;
+// the one in-process exception is -duty, which records a real order log with
+// the engine so the online replay has a run to follow.
 //
 // Usage:
 //
@@ -24,6 +26,13 @@
 // re-execution) and each stage reports sustained records/sec. -perf-out
 // merges the best stage into a BENCH_perf.json perf-trajectory artifact as
 // its "streaming" slice, preserving any benchmark rows already recorded.
+//
+// With -stream -duty "0,50,100", the sweep instead measures online race
+// detection (PROTOCOL.md §4.7): a real order log is recorded in-process
+// (the synthetic stream corresponds to no actual run, so the online replay
+// would just diverge), then streamed with detect=online at each duty point.
+// The duty=0 row is the ingest baseline; duty=100 prices full mid-stream
+// detection. -perf-out records the sweep as the "streaming-online" slice.
 package main
 
 import (
@@ -46,6 +55,8 @@ import (
 	"time"
 
 	"cord/internal/perf"
+	"cord/internal/replay"
+	"cord/internal/workload"
 )
 
 // detectRequest mirrors server.DetectRequest; cordload speaks the wire
@@ -118,14 +129,25 @@ type retryPolicy struct {
 // forms are honored — delta-seconds and HTTP-date — and a missing or
 // malformed header falls back to doubling backoff by attempt (1-based).
 // Every result is clamped to [0, cap].
+//
+// A parsed HTTP-date that is already in the past — which happens routinely
+// when the server's clock runs behind the client's — means "retry now" and
+// clamps to zero. Only an absent or unparseable header earns the doubling
+// fallback; conflating the two made a skewed but well-behaved server look
+// like one asking for ever-longer backoff.
 func (p retryPolicy) retryAfter(header string, attempt int) time.Duration {
-	d := -1 * time.Second
+	var d time.Duration
+	parsed := false
 	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
 		d = time.Duration(secs) * time.Second
+		parsed = true
 	} else if at, err := http.ParseTime(header); err == nil {
-		d = time.Until(at)
+		if d = time.Until(at); d < 0 {
+			d = 0
+		}
+		parsed = true
 	}
-	if d < 0 { // absent, malformed, or already in the past
+	if !parsed {
 		d = p.fallback
 		for i := 1; i < attempt; i++ {
 			d *= 2
@@ -136,9 +158,6 @@ func (p retryPolicy) retryAfter(header string, attempt int) time.Duration {
 	}
 	if d > p.cap {
 		d = p.cap
-	}
-	if d < 0 {
-		d = 0
 	}
 	return d
 }
@@ -180,6 +199,7 @@ func run() int {
 		stream   = flag.Bool("stream", false, "drive POST /v1/stream sessions instead of /v1/detect")
 		frames   = flag.Int("frames", 200000, "order-record frames per stream session (with -stream)")
 		chunk    = flag.Int("chunk", 64<<10, "upload chunk size in bytes (with -stream)")
+		duty     = flag.String("duty", "", "comma-separated duty percentages: sweep detect=online at each (with -stream)")
 		perfOut  = flag.String("perf-out", "", "merge the best -stream stage into this BENCH_perf.json")
 	)
 	flag.Parse()
@@ -209,9 +229,19 @@ func run() int {
 
 	policy := retryPolicy{attempts: *retries, fallback: 250 * time.Millisecond, cap: *retryCap}
 	if *stream {
-		return runStreamSweep(client, *addr, stages, *n, policy, streamParams{
-			app: *app, seed: *seed, threads: *threads, frames: *frames, chunk: *chunk,
-		}, *perfOut)
+		p := streamParams{
+			app: *app, seed: *seed, scale: *scale, threads: *threads, frames: *frames, chunk: *chunk,
+		}
+		if *duty != "" {
+			duties, err := parseDuties(*duty)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
+				flag.Usage()
+				return 2
+			}
+			return runOnlineSweep(client, *addr, stages, *n, policy, p, duties, *perfOut)
+		}
+		return runStreamSweep(client, *addr, stages, *n, policy, p, *perfOut)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "clients\tok\tretries\terrors\twall\treq/s\tp50\tp95\tmax")
@@ -302,10 +332,30 @@ func runStage(client *http.Client, addr string, c, n int, policy retryPolicy, ba
 	return res
 }
 
+// parseDuties parses the -duty list: distinct integers in [0, 100].
+func parseDuties(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-duty entry %q: %v", part, err)
+		}
+		if n < 0 || n > 100 {
+			return nil, fmt.Errorf("-duty entry %d: duty percentages live in [0, 100]", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-duty must name at least one percentage")
+	}
+	return out, nil
+}
+
 // streamParams configures one streaming-throughput sweep.
 type streamParams struct {
 	app     string
 	seed    uint64
+	scale   int
 	threads int
 	frames  int
 	chunk   int
@@ -364,12 +414,13 @@ func runStreamSweep(client *http.Client, addr string, stages []int, n int, polic
 	fmt.Printf("streaming %d sessions/stage, %d frames (%d bytes) each, chunk %d\n",
 		n, p.frames, len(body), p.chunk)
 
+	query := fmt.Sprintf("/v1/stream?app=%s&seed=%d&threads=%d&verify=0", p.app, p.seed, p.threads)
 	var best *perf.StreamingPerf
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "streams\tok\tretries\terrors\twall\trecords/s\tp50\tp95\tmax")
 	exit := 0
 	for _, c := range stages {
-		res := runStreamStage(client, addr, c, n, policy, p, body)
+		res := runStreamStage(client, addr, query, c, n, policy, p, body)
 		sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 		recs := float64(res.ok) * float64(p.frames) / res.wall.Seconds()
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2fs\t%.0f\t%s\t%s\t%s\n",
@@ -416,12 +467,11 @@ func runStreamSweep(client *http.Client, addr string, stages []int, n int, polic
 	return exit
 }
 
-// runStreamStage uploads n synthetic streams from c concurrent clients.
-// 429 pushback (all stream slots busy) retries under the same policy the
-// detect sweep uses.
-func runStreamStage(client *http.Client, addr string, c, n int, policy retryPolicy, p streamParams, body []byte) streamStageResult {
+// runStreamStage uploads n copies of one stream body from c concurrent
+// clients against the given /v1/stream query. 429 pushback (all stream slots
+// busy) retries under the same policy the detect sweep uses.
+func runStreamStage(client *http.Client, addr, query string, c, n int, policy retryPolicy, p streamParams, body []byte) streamStageResult {
 	res := streamStageResult{streams: c}
-	query := fmt.Sprintf("/v1/stream?app=%s&seed=%d&threads=%d&verify=0", p.app, p.seed, p.threads)
 	var next atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -471,6 +521,116 @@ func runStreamStage(client *http.Client, addr string, c, n int, policy retryPoli
 	wg.Wait()
 	res.wall = time.Since(start)
 	return res
+}
+
+// recordedStream records a real order log in-process (the engine with a
+// recording CORD detector, the exact configuration /v1/detect re-executes)
+// and returns its wire bytes plus the frame count. Online replay needs a log
+// that corresponds to an actual run; the synthetic stream does not.
+func recordedStream(appName string, seed uint64, scale, threads int) ([]byte, int, error) {
+	app, err := workload.ByName(appName)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := replay.RecordAndReplay(app.Build(scale, threads), replay.Options{Seed: seed, Jitter: 7})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !out.Match {
+		return nil, 0, fmt.Errorf("recording fixture: %s", out.Mismatch)
+	}
+	var buf bytes.Buffer
+	if err := out.Log.EncodeTo(&buf); err != nil {
+		return nil, 0, err
+	}
+	return buf.Bytes(), out.Log.Len(), nil
+}
+
+// runOnlineSweep measures detect=online throughput at each duty point: one
+// recorded fixture, streamed n times per stage per duty with the online
+// replay following along. Every duty's best stage lands in the report, so
+// the artifact shows how throughput scales with detection coverage.
+func runOnlineSweep(client *http.Client, addr string, stages []int, n int, policy retryPolicy, p streamParams, duties []int, perfOut string) int {
+	body, frames, err := recordedStream(p.app, p.seed, p.scale, p.threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
+		return 1
+	}
+	fmt.Printf("online sweep: %d sessions/stage, recorded fixture %d frames (%d bytes), chunk %d, duties %v\n",
+		n, frames, len(body), p.chunk, duties)
+
+	var rows []perf.OnlineDutyPerf
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "duty\tstreams\tok\tretries\terrors\twall\trecords/s\tp50\tp95\tmax")
+	exit := 0
+	for _, duty := range duties {
+		query := fmt.Sprintf("/v1/stream?app=%s&seed=%d&scale=%d&threads=%d&verify=0&detect=online&duty=%d",
+			p.app, p.seed, p.scale, p.threads, duty)
+		var best *perf.OnlineDutyPerf
+		for _, c := range stages {
+			res := runStreamStage(client, addr, query, c, n, policy, p, body)
+			sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+			recs := float64(res.ok) * float64(frames) / res.wall.Seconds()
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.2fs\t%.0f\t%s\t%s\t%s\n",
+				duty, res.streams, res.ok, res.retries, res.errors, res.wall.Seconds(), recs,
+				quantile(res.latencies, 0.50).Round(time.Millisecond),
+				quantile(res.latencies, 0.95).Round(time.Millisecond),
+				quantile(res.latencies, 1.00).Round(time.Millisecond))
+			w.Flush()
+			if res.errors > 0 {
+				fmt.Fprintf(os.Stderr, "cordload: duty %d stage %d finished with %d hard errors\n", duty, c, res.errors)
+				exit = 1
+			}
+			if res.ok > 0 && (best == nil || recs > best.RecordsPerSec) {
+				best = &perf.OnlineDutyPerf{
+					Duty:             duty,
+					Streams:          c,
+					Sessions:         res.ok,
+					FramesPerSession: frames,
+					RecordsPerSec:    recs,
+					WallClockMs:      float64(res.wall) / float64(time.Millisecond),
+				}
+			}
+		}
+		if best != nil {
+			rows = append(rows, *best)
+		}
+	}
+
+	metrics, err := fetch(client, addr+"/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordload: fetching /metrics: %v\n", err)
+		return 1
+	}
+	fmt.Println("\nserver /metrics after the sweep:")
+	os.Stdout.Write(metrics)
+
+	if perfOut != "" {
+		if len(rows) != len(duties) {
+			fmt.Fprintf(os.Stderr, "cordload: only %d of %d duty points succeeded; not touching %s\n",
+				len(rows), len(duties), perfOut)
+			return 1
+		}
+		if err := mergeOnlinePerf(perfOut, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nrecorded %d-point duty sweep into %s\n", len(rows), perfOut)
+	}
+	return exit
+}
+
+// mergeOnlinePerf sets the streaming-online slice of the perf-trajectory
+// artifact, preserving everything else already recorded.
+func mergeOnlinePerf(path string, rows []perf.OnlineDutyPerf) error {
+	r, err := perf.Read(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		r = perf.NewReport()
+	} else if err != nil {
+		return err
+	}
+	r.StreamingOnline = rows
+	return perf.Write(path, r)
 }
 
 // mergeStreamingPerf sets the streaming slice of the perf-trajectory

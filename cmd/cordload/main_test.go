@@ -47,32 +47,35 @@ func TestValidateFlags(t *testing.T) {
 
 // TestRetryAfter: both wire forms of Retry-After are honored, malformed and
 // missing headers fall back to doubling backoff, and everything clamps to
-// the cap.
+// [0, cap]. The past-HTTP-date row is the regression under test: a server
+// whose clock runs behind the client's sends dates that are already in the
+// past, which must mean "retry now" (zero sleep) — not drop into the
+// doubling fallback as if the header were garbage.
 func TestRetryAfter(t *testing.T) {
 	p := retryPolicy{attempts: 5, fallback: 100 * time.Millisecond, cap: 2 * time.Second}
-	if d := p.retryAfter("1", 1); d != time.Second {
-		t.Fatalf("delta-seconds: %v, want 1s", d)
-	}
-	if d := p.retryAfter("30", 1); d != p.cap {
-		t.Fatalf("over-cap delta-seconds: %v, want the %v cap", d, p.cap)
-	}
-	httpDate := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
-	if d := p.retryAfter(httpDate, 1); d != p.cap {
-		t.Fatalf("future HTTP-date: %v, want clamped to %v", d, p.cap)
-	}
+	future := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
 	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
-	if d := p.retryAfter(past, 1); d != p.fallback {
-		t.Fatalf("past HTTP-date: %v, want the %v fallback", d, p.fallback)
+	cases := []struct {
+		name    string
+		header  string
+		attempt int
+		want    time.Duration
+	}{
+		{"delta-seconds", "1", 1, time.Second},
+		{"delta-seconds zero", "0", 1, 0},
+		{"delta-seconds over cap", "30", 1, p.cap},
+		{"future HTTP-date clamps to cap", future, 1, p.cap},
+		{"past HTTP-date clamps to zero", past, 1, 0},
+		{"past HTTP-date late attempt still zero", past, 4, 0},
+		{"missing header attempt 1", "", 1, p.fallback},
+		{"malformed header attempt 2", "garbage", 2, 2 * p.fallback},
+		{"negative delta-seconds is malformed", "-5", 1, p.fallback},
+		{"missing header attempt 10 caps", "", 10, p.cap},
 	}
-	// Fallback doubles per attempt and clamps.
-	if d := p.retryAfter("", 1); d != p.fallback {
-		t.Fatalf("missing header attempt 1: %v, want %v", d, p.fallback)
-	}
-	if d := p.retryAfter("garbage", 2); d != 2*p.fallback {
-		t.Fatalf("malformed header attempt 2: %v, want %v", d, 2*p.fallback)
-	}
-	if d := p.retryAfter("", 10); d != p.cap {
-		t.Fatalf("missing header attempt 10: %v, want the %v cap", d, p.cap)
+	for _, tc := range cases {
+		if d := p.retryAfter(tc.header, tc.attempt); d != tc.want {
+			t.Errorf("%s: retryAfter(%q, %d) = %v, want %v", tc.name, tc.header, tc.attempt, d, tc.want)
+		}
 	}
 }
 
@@ -138,6 +141,29 @@ func TestParseSweep(t *testing.T) {
 	}
 }
 
+// TestParseDuties: the -duty sweep list admits the full [0, 100] domain —
+// zero (pure-ingest baseline) included — and rejects everything outside it.
+func TestParseDuties(t *testing.T) {
+	got, err := parseDuties("0, 50,100")
+	if err != nil {
+		t.Fatalf("parseDuties: %v", err)
+	}
+	want := []int{0, 50, 100}
+	if len(got) != len(want) {
+		t.Fatalf("parseDuties = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseDuties = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "101", "-1", "50,,100", "50,101"} {
+		if _, err := parseDuties(bad); err == nil {
+			t.Errorf("parseDuties(%q): expected error", bad)
+		}
+	}
+}
+
 // TestSyntheticStreamDecodes: the generated wire bytes are a well-formed
 // order log — they decode, declare the right entry count, and satisfy the
 // per-thread unwrap invariants a real recording has (Schedule accepts them).
@@ -181,7 +207,8 @@ func TestRunStreamStage(t *testing.T) {
 
 	policy := retryPolicy{attempts: 3, fallback: time.Millisecond, cap: 10 * time.Millisecond}
 	p := streamParams{app: "fft", seed: 1, threads: 4, frames: 1000, chunk: 256}
-	res := runStreamStage(srv.Client(), srv.URL, 2, 4, policy, p, body)
+	query := "/v1/stream?app=fft&seed=1&threads=4&verify=0"
+	res := runStreamStage(srv.Client(), srv.URL, query, 2, 4, policy, p, body)
 	if res.ok != 4 || res.errors != 0 || res.retries != 1 {
 		t.Fatalf("ok=%d errors=%d retries=%d, want 4/0/1", res.ok, res.errors, res.retries)
 	}

@@ -1,0 +1,156 @@
+package record
+
+import (
+	"fmt"
+
+	"cord/internal/clock"
+)
+
+// EpochStream incrementally converts a streamed entry sequence into the same
+// globally ordered epoch schedule Log.Schedule produces, without ever holding
+// the whole log. It is the ordering half of the service's online-detection
+// path (PROTOCOL.md §4.7): as entries arrive, Push unwraps each thread's
+// 16-bit clock into monotone 64-bit logical time and releases every epoch
+// that can no longer be reordered by future input.
+//
+// The release rule is a watermark: per-thread unwrapped times are
+// nondecreasing, so once every one of the session's threads has appeared, any
+// buffered epoch with Time at or below the minimum of the threads' last
+// unwrapped times is final — a future entry either has a strictly larger Time
+// or, on an equal Time, a larger stream Index, and Schedule breaks equal-Time
+// ties by Index. Until all threads have started the watermark is zero (an
+// unseen thread's first clock value may be anything), so nothing past logical
+// time zero is released; epochs of a thread that never speaks drain in Flush.
+//
+// The concatenation of every slice Push returns, followed by Flush's
+// remainder, is exactly Schedule's output for the same entries: same epochs,
+// same order, same Index values.
+type EpochStream struct {
+	last      []clock.Scalar
+	unwrapped []uint64
+	started   []bool
+	unstarted int
+
+	heap []Epoch // min-heap on (Time, Index): the not-yet-releasable epochs
+	next int     // stream index of the next entry
+	out  []Epoch // reused release buffer handed out by Push
+	err  error   // sticky: a violated stream stays violated
+}
+
+// NewEpochStream builds a stream for a session of numThreads threads.
+func NewEpochStream(numThreads int) *EpochStream {
+	return &EpochStream{
+		last:      make([]clock.Scalar, numThreads),
+		unwrapped: make([]uint64, numThreads),
+		started:   make([]bool, numThreads),
+		unstarted: numThreads,
+	}
+}
+
+// Pending returns the number of buffered epochs not yet released — what Flush
+// would currently return.
+func (s *EpochStream) Pending() int { return len(s.heap) }
+
+// Push ingests the next entry and returns the epochs that became final, in
+// global schedule order. The returned slice is valid only until the next Push
+// or Flush call; callers that retain epochs must copy them. Errors (an entry
+// naming a thread the session does not have, or a clock delta outside the
+// comparison window) are sticky and match Log.Schedule's verdicts for the
+// same entries.
+func (s *EpochStream) Push(e Entry) ([]Epoch, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	t := int(e.Thread)
+	if t >= len(s.last) {
+		s.err = fmt.Errorf("record: entry %d names thread %d, have %d threads", s.next, t, len(s.last))
+		return nil, s.err
+	}
+	if !s.started[t] {
+		s.started[t] = true
+		s.unstarted--
+		s.unwrapped[t] = uint64(e.Clock)
+	} else {
+		delta := uint16(e.Clock - s.last[t])
+		if int(delta) > clock.Window {
+			s.err = fmt.Errorf("record: entry %d clock regressed for thread %d", s.next, t)
+			return nil, s.err
+		}
+		s.unwrapped[t] += uint64(delta)
+	}
+	s.last[t] = e.Clock
+	s.push(Epoch{Time: s.unwrapped[t], Thread: t, Instr: e.Instr, Index: s.next})
+	s.next++
+
+	watermark := uint64(0)
+	if s.unstarted == 0 {
+		watermark = s.unwrapped[0]
+		for _, u := range s.unwrapped[1:] {
+			if u < watermark {
+				watermark = u
+			}
+		}
+	}
+	s.out = s.out[:0]
+	for len(s.heap) > 0 && s.heap[0].Time <= watermark {
+		s.out = append(s.out, s.pop())
+	}
+	return s.out, nil
+}
+
+// Flush releases every still-buffered epoch in schedule order; call it at end
+// of stream. The returned slice is valid until the next Push or Flush.
+func (s *EpochStream) Flush() []Epoch {
+	s.out = s.out[:0]
+	for len(s.heap) > 0 {
+		s.out = append(s.out, s.pop())
+	}
+	return s.out
+}
+
+// epochLess orders the heap by (Time, Index) — Schedule's sort key. Index is
+// unique per entry, so the order is total and the heap pop sequence is the
+// exact sorted sequence.
+func epochLess(a, b Epoch) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Index < b.Index
+}
+
+func (s *EpochStream) push(e Epoch) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !epochLess(s.heap[i], s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *EpochStream) pop() Epoch {
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && epochLess(s.heap[l], s.heap[m]) {
+			m = l
+		}
+		if r < n && epochLess(s.heap[r], s.heap[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+	return top
+}

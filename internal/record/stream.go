@@ -47,7 +47,20 @@ type StreamDecoder struct {
 func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
 
 // Reset returns the decoder to its initial state so it can be reused for a
-// new stream without reallocating.
+// NEW stream without reallocating: it discards the carry buffer, the header
+// state, and any sticky error.
+//
+// Reset is the only way out of the failed state, and it is deliberately
+// all-or-nothing: there is no way to "resume" a damaged stream, because after
+// a format error the byte offset is unreliable and continuing could emit
+// entries from a desynchronized frame boundary. Feeding the remainder of a
+// stream that previously errored — even after Reset — reinterprets those
+// bytes as a fresh stream starting with a 16-byte header, which is exactly
+// the safe failure mode: continuation bytes are rejected as a bad magic, not
+// silently decoded as entries. Callers that want to abandon a broken stream
+// must drop the remaining bytes and Reset before the next stream's first
+// chunk; until Reset is called, every Feed and Close keeps returning the
+// original sticky error.
 func (d *StreamDecoder) Reset() { *d = StreamDecoder{} }
 
 // HeaderSeen reports whether the 16-byte header has been parsed; Declared is

@@ -70,6 +70,19 @@ type StreamCounters struct {
 	// BytesIngested / FramesIngested total the decoded stream volume.
 	BytesIngested  uint64 `json:"bytes_ingested"`
 	FramesIngested uint64 `json:"frames_ingested"`
+	// OnlineSessions counts detect=online sessions admitted (a subset of
+	// Started); the remaining Online* totals cover only those sessions.
+	OnlineSessions uint64 `json:"online_sessions"`
+	// OnlineRaces totals the races the online detectors reported.
+	OnlineRaces uint64 `json:"online_races"`
+	// OnlineEpochsTotal / OnlineEpochsObserved total the epochs online
+	// replays advanced through and the subset replayed with detection on —
+	// their ratio is the fleet-wide effective duty-cycle coverage.
+	OnlineEpochsTotal    uint64 `json:"online_epochs_total"`
+	OnlineEpochsObserved uint64 `json:"online_epochs_observed"`
+	// OnlineDivergences counts online sessions whose replay could not follow
+	// the streamed log (a 200 verdict, not a failure).
+	OnlineDivergences uint64 `json:"online_divergences"`
 }
 
 // Metrics is the GET /metrics body: a schema-versioned snapshot of the
@@ -139,6 +152,30 @@ func (m *metrics) observe(endpoint string, d time.Duration) {
 	h.count++
 	h.sumMs += ms
 	m.mu.Unlock()
+}
+
+// p50Ms estimates an endpoint's median latency from its histogram: the upper
+// bound of the bucket holding the median observation (the overflow bucket
+// reports the largest finite bound). ok is false with no observations yet.
+func (m *metrics) p50Ms(endpoint string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.endpoints[endpoint]
+	if h == nil || h.count == 0 {
+		return 0, false
+	}
+	half := (h.count + 1) / 2
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= half {
+			if i < len(latencyBucketsMs) {
+				return latencyBucketsMs[i], true
+			}
+			return latencyBucketsMs[len(latencyBucketsMs)-1], true
+		}
+	}
+	return 0, false
 }
 
 // snapshot renders the current counters as a Metrics value.

@@ -44,6 +44,15 @@ type Config struct {
 	// MaxStreamFrames is the per-session frame quota of one stream
 	// (default 16Mi entries); exceeding it answers 413.
 	MaxStreamFrames uint64
+	// StreamDuty is the default duty percentage of detect=online sessions
+	// that do not pass duty= themselves (default 100 — full coverage). The
+	// zero value selects the default; per-session duty=0 is still available
+	// via the query parameter.
+	StreamDuty int
+	// StreamWorkers bounds the per-session ingest worker group that fans the
+	// online shard folds across cores (default min(4, runtime.NumCPU())).
+	// 1 disables the fan-out.
+	StreamWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +79,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStreamFrames == 0 {
 		c.MaxStreamFrames = 16 << 20
+	}
+	if c.StreamDuty <= 0 || c.StreamDuty > 100 {
+		c.StreamDuty = 100
+	}
+	if c.StreamWorkers <= 0 {
+		c.StreamWorkers = min(4, runtime.NumCPU())
 	}
 	return c
 }

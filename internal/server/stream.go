@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"cord/internal/clock"
 	"cord/internal/record"
+	"cord/internal/sim"
 )
 
 // This file implements POST /v1/stream: the streaming order-record ingestion
@@ -88,10 +91,25 @@ func (g *streamIngest) ingest(e record.Entry) error {
 	if g.frames >= g.maxFrames {
 		return fmt.Errorf("%w: frame quota (%d frames) exhausted", errStreamQuota, g.maxFrames)
 	}
+	if err := g.foldShard(e, g.frames); err != nil {
+		return err
+	}
+	g.hashEntry(e)
+	g.frames++
+	return nil
+}
+
+// foldShard is the shard half of ingest — validation and clock unwrap for
+// entry e, the idx-th of the stream. The index is a parameter (rather than
+// g.frames) so the online worker group, which folds a whole chunk batch
+// before advancing the frame counter, reports errors naming the same entry
+// sequential ingest would. Distinct threads touch distinct shards, so
+// concurrent foldShard calls are safe as long as no two run for one thread.
+func (g *streamIngest) foldShard(e record.Entry, idx uint64) error {
 	t := int(e.Thread)
 	if t >= len(g.shards) {
 		return fmt.Errorf("%w: entry %d names thread %d, session has %d threads",
-			errOrderViolation, g.frames, t, len(g.shards))
+			errOrderViolation, idx, t, len(g.shards))
 	}
 	sh := &g.shards[t]
 	if !sh.started {
@@ -101,15 +119,18 @@ func (g *streamIngest) ingest(e record.Entry) error {
 	} else {
 		delta := uint16(e.Clock - sh.lastClock)
 		if int(delta) > clock.Window {
-			return fmt.Errorf("%w: entry %d clock regressed for thread %d", errOrderViolation, g.frames, t)
+			return fmt.Errorf("%w: entry %d clock regressed for thread %d", errOrderViolation, idx, t)
 		}
 		sh.unwrapped += uint64(delta)
 	}
 	sh.lastClock = e.Clock
 	sh.entries++
 	sh.instructions += uint64(e.Instr)
-	g.frames++
+	return nil
+}
 
+// hashEntry folds one entry's 8 wire bytes into the running content hash.
+func (g *streamIngest) hashEntry(e record.Entry) {
 	var b [record.EntryBytes]byte
 	binary.LittleEndian.PutUint16(b[0:2], uint16(e.Clock))
 	binary.LittleEndian.PutUint16(b[2:4], e.Thread)
@@ -117,7 +138,6 @@ func (g *streamIngest) ingest(e record.Entry) error {
 	for _, c := range b {
 		g.hash = (g.hash ^ uint64(c)) * fnvPrime64
 	}
-	return nil
 }
 
 // summaries renders the non-empty shards in thread order — deterministic, so
@@ -175,58 +195,138 @@ type StreamResponse struct {
 	Shards   []ShardSummary `json:"shards"`
 	Verified bool           `json:"verified"`
 	LogMatch bool           `json:"log_match"`
+	// Online holds the incremental detection verdict of a detect=online
+	// session (PROTOCOL.md §4.7); absent otherwise.
+	Online *OnlineSummary `json:"online,omitempty"`
 	// Detect is kept the last field so text tooling (service-smoke.sh) can
 	// extract the block and compare it against a one-shot /v1/detect body.
 	Detect *DetectResponse `json:"detect,omitempty"`
 }
 
+// streamOptions are one session's parsed query parameters: the DetectRequest
+// domain plus the streaming-only knobs (verification, online detection, the
+// duty cycle, and the recorded run's injection identity for online replay).
+type streamOptions struct {
+	req    DetectRequest
+	verify bool
+	online bool
+	// duty is the online duty percentage; -1 until resolved against the
+	// server default (Config.StreamDuty).
+	duty int
+	// injectThread/injectNth re-apply the recorded run's fault injection to
+	// the online replay, exactly like a /v1/replay request; -1 = none.
+	injectThread int
+	injectNth    uint64
+}
+
 // parseStreamQuery extracts the session parameters (the DetectRequest
 // domain, query-string encoded — the body is the binary stream) plus the
-// verify flag, which defaults to on.
-func parseStreamQuery(r *http.Request) (DetectRequest, bool, error) {
+// streaming flags. verify defaults to on; detect=online is off by default.
+func parseStreamQuery(r *http.Request) (streamOptions, error) {
 	q := r.URL.Query()
-	req := DetectRequest{App: q.Get("app")}
+	o := streamOptions{verify: true, duty: -1, injectThread: -1}
+	o.req = DetectRequest{App: q.Get("app")}
 	var err error
-	if req.Seed, err = queryUint(q.Get("seed"), 0); err != nil {
-		return req, false, fmt.Errorf("%w: seed: %v", ErrBadRequest, err)
+	if o.req.Seed, err = queryUint(q.Get("seed"), 0); err != nil {
+		return o, fmt.Errorf("%w: seed: %v", ErrBadRequest, err)
 	}
-	if req.Scale, err = queryInt(q.Get("scale"), 0); err != nil {
-		return req, false, fmt.Errorf("%w: scale: %v", ErrBadRequest, err)
+	if o.req.Scale, err = queryInt(q.Get("scale"), 0); err != nil {
+		return o, fmt.Errorf("%w: scale: %v", ErrBadRequest, err)
 	}
-	if req.Threads, err = queryInt(q.Get("threads"), 0); err != nil {
-		return req, false, fmt.Errorf("%w: threads: %v", ErrBadRequest, err)
+	if o.req.Threads, err = queryInt(q.Get("threads"), 0); err != nil {
+		return o, fmt.Errorf("%w: threads: %v", ErrBadRequest, err)
 	}
-	if req.Inject, err = queryUint(q.Get("inject"), 0); err != nil {
-		return req, false, fmt.Errorf("%w: inject: %v", ErrBadRequest, err)
+	if o.req.Inject, err = queryUint(q.Get("inject"), 0); err != nil {
+		return o, fmt.Errorf("%w: inject: %v", ErrBadRequest, err)
 	}
-	if req.D, err = queryInt(q.Get("d"), 0); err != nil {
-		return req, false, fmt.Errorf("%w: d: %v", ErrBadRequest, err)
+	if o.req.D, err = queryInt(q.Get("d"), 0); err != nil {
+		return o, fmt.Errorf("%w: d: %v", ErrBadRequest, err)
 	}
-	verify := true
 	switch v := q.Get("verify"); v {
 	case "", "1", "true":
 	case "0", "false":
-		verify = false
+		o.verify = false
 	default:
-		return req, false, fmt.Errorf("%w: verify: want 0 or 1, got %q", ErrBadRequest, v)
+		return o, fmt.Errorf("%w: verify: want 0 or 1, got %q", ErrBadRequest, v)
 	}
-	return req, verify, nil
+	switch v := q.Get("detect"); v {
+	case "":
+	case "online":
+		o.online = true
+	default:
+		return o, fmt.Errorf("%w: detect: want online, got %q", ErrBadRequest, v)
+	}
+	if v := q.Get("duty"); v != "" {
+		if !o.online {
+			return o, fmt.Errorf("%w: duty requires detect=online", ErrBadRequest)
+		}
+		n, err := queryInt(v, -1)
+		if err != nil || n < 0 || n > 100 {
+			return o, fmt.Errorf("%w: duty: want an integer in [0, 100], got %q", ErrBadRequest, v)
+		}
+		o.duty = n
+	}
+	if v := q.Get("inject_thread"); v != "" {
+		if !o.online {
+			return o, fmt.Errorf("%w: inject_thread requires detect=online", ErrBadRequest)
+		}
+		if o.injectThread, err = queryInt(v, -1); err != nil {
+			return o, fmt.Errorf("%w: inject_thread: %v", ErrBadRequest, err)
+		}
+	}
+	if v := q.Get("inject_nth"); v != "" {
+		if !o.online {
+			return o, fmt.Errorf("%w: inject_nth requires detect=online", ErrBadRequest)
+		}
+		if o.injectNth, err = queryUint(v, 0); err != nil {
+			return o, fmt.Errorf("%w: inject_nth: %v", ErrBadRequest, err)
+		}
+	}
+	return o, nil
+}
+
+// validateOnline checks the online-only parameters once defaults are in
+// place, mirroring ReplayRequest.Validate for the injection identity.
+func (o *streamOptions) validateOnline() error {
+	if !o.online {
+		return nil
+	}
+	if o.injectThread < -1 || o.injectThread >= o.req.Threads {
+		return fmt.Errorf("%w: inject_thread must be in [0, %d)", ErrBadRequest, o.req.Threads)
+	}
+	if o.injectThread >= 0 && o.injectNth == 0 {
+		return fmt.Errorf("%w: inject_nth must be at least 1 when inject_thread is set", ErrBadRequest)
+	}
+	return nil
 }
 
 // streamReadChunk is the size of the reusable read buffer; one buffer serves
 // the whole session regardless of stream length.
 const streamReadChunk = 32 << 10
 
+// statusResponded is serveStream's sentinel for "the failure was already
+// written to the wire as an error frame": the 200 status was committed by an
+// earlier progress frame, so the handler classifies the outcome for metrics
+// but must not write a second response.
+const statusResponded = -1
+
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	req, verify, err := parseStreamQuery(r)
+	opts, err := parseStreamQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	req.ApplyDefaults()
-	if err := req.Validate(); err != nil {
+	opts.req.ApplyDefaults()
+	if err := opts.req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if err := opts.validateOnline(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if opts.duty < 0 {
+		opts.duty = s.cfg.StreamDuty
 	}
 
 	// Admission: drain state first, then a stream slot. Accepted streams
@@ -241,17 +341,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	case s.streams <- struct{}{}:
 	default:
 		s.m.bumpStream(func(c *StreamCounters) { c.RejectedLimit++ })
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.streamRetryAfter())
 		writeErrorCode(w, http.StatusTooManyRequests, codeStreamLimit,
 			fmt.Errorf("all %d stream slots are busy", s.cfg.MaxStreams))
 		return
 	}
 	defer func() { <-s.streams }()
 
-	s.m.bumpStream(func(c *StreamCounters) { c.Started++ })
+	s.m.bumpStream(func(c *StreamCounters) {
+		c.Started++
+		if opts.online {
+			c.OnlineSessions++
+		}
+	})
 	start := time.Now()
 	defer func() { s.m.observe(r.URL.Path, time.Since(start)) }()
-	status, code, ferr := s.serveStream(w, r, req, verify)
+	status, code, ferr := s.serveStream(w, r, opts)
 	if ferr == nil {
 		return // 2xx summary already written
 	}
@@ -263,25 +368,70 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.m.bumpStream(func(c *StreamCounters) { c.IdleTimeout++ })
 	case code == codeQuotaExceeded:
 		s.m.bumpStream(func(c *StreamCounters) { c.QuotaExceeded++ })
-	case status == http.StatusGatewayTimeout:
+	case code == codeTimeout:
 		s.m.bumpStream(func(c *StreamCounters) { c.TimedOut++ })
 	default:
 		s.m.bumpStream(func(c *StreamCounters) { c.Failed++ })
 	}
-	writeErrorCode(w, status, code, ferr)
+	if status != statusResponded {
+		writeErrorCode(w, status, code, ferr)
+	}
+}
+
+// streamRetryAfter computes the Retry-After value for a stream-slot 429 from
+// the observed /v1/stream latency: the p50 session duration (rounded up to
+// whole seconds, clamped to [1, 30]) approximates when a slot will free up.
+// A cold server with no history falls back to 1 second.
+func (s *Server) streamRetryAfter() string {
+	secs := 1
+	if p50, ok := s.m.p50Ms("/v1/stream"); ok {
+		secs = int(math.Ceil(p50 / 1000))
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 30 {
+			secs = 30
+		}
+	}
+	return strconv.Itoa(secs)
 }
 
 // serveStream runs one admitted streaming session: the chunked ingest loop,
-// end-of-stream completeness check, optional verification re-execution, and
-// the summary write. A nil error means the 200 summary was written; any
-// other outcome is returned as (status, taxonomy code, error) for the
-// handler to classify and write.
-func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req DetectRequest, verify bool) (int, string, error) {
+// end-of-stream completeness check, optional online replay join and
+// verification re-execution, and the summary write. A nil error means the
+// 200 summary was written; any other outcome is returned as (status,
+// taxonomy code, error) for the handler to classify — with statusResponded
+// meaning the error already went out as a frame (PROTOCOL.md §4.7).
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, opts streamOptions) (int, string, error) {
+	req := opts.req
 	rc := http.NewResponseController(w)
 	dec := record.NewStreamDecoder()
 	ing := newStreamIngest(req.Threads, s.cfg.MaxStreamFrames)
 	buf := make([]byte, streamReadChunk)
 	var bytesIn int64
+
+	// Online mode: an incremental replay session consumes epochs as chunks
+	// land, and a frame writer reports its progress mid-stream. fail wraps
+	// error returns so post-header failures travel as error frames.
+	var (
+		online *onlineSession
+		fw     *frameWriter
+	)
+	fail := func(status int, code string, err error) (int, string, error) {
+		if fw != nil && fw.wrote {
+			fw.fail(code, err)
+			return statusResponded, code, err
+		}
+		return status, code, err
+	}
+	sink := ing.ingest
+	if opts.online {
+		online = startOnline(opts, s.cfg.StreamWorkers)
+		online.maxFrames = s.cfg.MaxStreamFrames
+		defer online.stop()
+		fw = newFrameWriter(w, rc)
+		sink = online.collect
+	}
 
 	defer func() {
 		s.m.bumpStream(func(c *StreamCounters) {
@@ -294,17 +444,29 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req DetectR
 		// The idle clock rearms per chunk: a stream stays admitted as long
 		// as it keeps delivering bytes, no matter how long it runs in total.
 		if err := rc.SetReadDeadline(time.Now().Add(s.cfg.StreamIdleTimeout)); err != nil {
-			return http.StatusInternalServerError, codeInternal,
-				fmt.Errorf("stream transport does not support read deadlines: %w", err)
+			return fail(http.StatusInternalServerError, codeInternal,
+				fmt.Errorf("stream transport does not support read deadlines: %w", err))
 		}
 		n, err := r.Body.Read(buf)
 		if n > 0 {
 			if bytesIn += int64(n); bytesIn > s.cfg.MaxStreamBytes {
-				return http.StatusRequestEntityTooLarge, codeQuotaExceeded,
-					fmt.Errorf("%w: byte quota (%d bytes) exhausted", errStreamQuota, s.cfg.MaxStreamBytes)
+				return fail(http.StatusRequestEntityTooLarge, codeQuotaExceeded,
+					fmt.Errorf("%w: byte quota (%d bytes) exhausted", errStreamQuota, s.cfg.MaxStreamBytes))
 			}
-			if ferr := dec.Feed(buf[:n], ing.ingest); ferr != nil {
-				return streamIngestFailure(ferr)
+			ferr := dec.Feed(buf[:n], sink)
+			if online != nil {
+				// Fold the batch even when the decoder failed mid-chunk: every
+				// buffered entry precedes the failure point, and a fold error
+				// (earlier byte offset) outranks the decoder's.
+				if berr := online.ingestBatch(ing); berr != nil {
+					return fail(streamIngestFailure(berr))
+				}
+			}
+			if ferr != nil {
+				return fail(streamIngestFailure(ferr))
+			}
+			if online != nil {
+				fw.progress(online, ing, bytesIn, n)
 			}
 		}
 		if err != nil {
@@ -312,20 +474,20 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req DetectR
 				break
 			}
 			if errors.Is(err, os.ErrDeadlineExceeded) {
-				return http.StatusRequestTimeout, codeIdleTimeout,
-					fmt.Errorf("stream idle for more than %v", s.cfg.StreamIdleTimeout)
+				return fail(http.StatusRequestTimeout, codeIdleTimeout,
+					fmt.Errorf("stream idle for more than %v", s.cfg.StreamIdleTimeout))
 			}
 			// Anything else mid-body is the client going away (reset,
 			// cancelled context, malformed chunking): no one to answer.
 			return statusClientGone, "", err
 		}
 	}
-	// Clear the read deadline so it cannot fire under the verification run
-	// or the response write.
+	// Clear the read deadline so it cannot fire under the replay join, the
+	// verification run, or the response write.
 	rc.SetReadDeadline(time.Time{})
 
 	if err := dec.Close(); err != nil {
-		return streamIngestFailure(err)
+		return fail(streamIngestFailure(err))
 	}
 
 	resp := &StreamResponse{
@@ -341,7 +503,29 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req DetectR
 		LogHash:  fmt.Sprintf("%016x", ing.hash),
 		Shards:   ing.summaries(),
 	}
-	if verify {
+	if online != nil {
+		out, status, code, err := online.finish(r.Context().Done(), s.cfg.SessionTimeout)
+		if err != nil {
+			if status == statusClientGone {
+				return statusClientGone, "", err
+			}
+			return fail(status, code, err)
+		}
+		switch {
+		case out.err != nil && !errors.Is(out.err, sim.ErrReplayDivergence):
+			return fail(http.StatusInternalServerError, codeInternal, out.err)
+		}
+		resp.Online = online.summary(out)
+		s.m.bumpStream(func(c *StreamCounters) {
+			c.OnlineRaces += uint64(resp.Online.RacesSoFar)
+			c.OnlineEpochsTotal += resp.Online.EpochsTotal
+			c.OnlineEpochsObserved += resp.Online.EpochsObserved
+			if !resp.Online.Completed {
+				c.OnlineDivergences++
+			}
+		})
+	}
+	if opts.verify {
 		// The authoritative re-execution runs under the session timeout and
 		// the client's context: disconnecting mid-verify cancels the engine
 		// (sim.Config.Cancel) exactly like a one-shot session.
@@ -352,10 +536,10 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req DetectR
 		case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
 			return statusClientGone, "", err
 		case errors.Is(err, context.DeadlineExceeded):
-			return http.StatusGatewayTimeout, codeTimeout,
-				fmt.Errorf("verification run exceeded the %v timeout", s.cfg.SessionTimeout)
+			return fail(http.StatusGatewayTimeout, codeTimeout,
+				fmt.Errorf("verification run exceeded the %v timeout", s.cfg.SessionTimeout))
 		case err != nil:
-			return http.StatusInternalServerError, codeInternal, err
+			return fail(http.StatusInternalServerError, codeInternal, err)
 		}
 		resp.Verified = true
 		resp.LogMatch = uint64(log.Len()) == ing.frames && hashLog(log) == ing.hash
@@ -364,10 +548,16 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req DetectR
 
 	b, err := encodeJSON(resp)
 	if err != nil {
-		return http.StatusInternalServerError, codeInternal, err
+		return fail(http.StatusInternalServerError, codeInternal, err)
 	}
 	s.m.bumpStream(func(c *StreamCounters) { c.Completed++ })
-	writeBody(w, http.StatusOK, b)
+	if fw != nil && fw.wrote {
+		// Frames already committed the 200 and chunked framing; append the
+		// summary as the final body segment.
+		w.Write(b)
+	} else {
+		writeBody(w, http.StatusOK, b)
+	}
 	return http.StatusOK, "", nil
 }
 

@@ -81,6 +81,20 @@ type Config struct {
 	// replay: epochs run in order, each granting its thread a quota of
 	// committed instructions.
 	ReplayEpochs []record.Epoch
+	// ReplayFeed, when non-nil, also selects replay mode but sources the
+	// epoch schedule incrementally: the engine consumes epochs as a producer
+	// appends them and blocks — still honoring Cancel — when it runs ahead
+	// of the feed. Exactly one of ReplayEpochs and ReplayFeed should be set.
+	ReplayFeed *ReplayFeed
+	// OnEpoch, when non-nil in replay mode, is called on the engine
+	// goroutine each time the scheduler advances into epoch idx (0-based;
+	// the first call is OnEpoch(0) before any operation runs, and a final
+	// call with idx == total epochs marks the end of the schedule). It is
+	// the synchronization point online detection uses for duty-cycling and
+	// race snapshots: it runs on the same goroutine that delivers accesses
+	// to the Observers, so callbacks may toggle observer state without
+	// locking.
+	OnEpoch func(idx int)
 	// Cancel, when non-nil, aborts the run once the channel is closed: the
 	// engine unwinds every thread and Run returns ErrCanceled. Wire a
 	// context's Done() channel here to propagate request cancellation into
@@ -212,12 +226,15 @@ type Engine struct {
 	primIdx     int
 
 	// replay state
-	replay     bool
-	epochs     []record.Epoch
-	epochIdx   int
-	epochRun   uint32 // instructions committed in the current epoch
-	epochFresh bool   // epoch just began: drain the thread's micro-ops first
-	replayErr  error  // sticky divergence detected while charging quota
+	replay       bool
+	epochs       []record.Epoch
+	epochIdx     int
+	epochRun     uint32 // instructions committed in the current epoch
+	epochFresh   bool   // epoch just began: drain the thread's micro-ops first
+	replayErr    error  // sticky divergence detected while charging quota
+	feed         *ReplayFeed
+	feedRead     int  // epochs consumed from the feed into e.epochs
+	feedCanceled bool // Cancel fired while waiting on the feed
 
 	lastAccess trace.Access
 }
@@ -245,8 +262,9 @@ func New(cfg Config, prog Program) *Engine {
 		primIdx:     -1,
 		threadSyncN: make([]uint64, prog.Threads),
 		injThread:   -1,
-		replay:      cfg.ReplayEpochs != nil,
+		replay:      cfg.ReplayEpochs != nil || cfg.ReplayFeed != nil,
 		epochs:      cfg.ReplayEpochs,
+		feed:        cfg.ReplayFeed,
 		epochFresh:  true,
 	}
 	for i, o := range cfg.Observers {
@@ -312,6 +330,9 @@ func (e *Engine) Run() (Result, error) {
 		return Result{}, firstErr
 	}
 
+	if e.replay && e.cfg.OnEpoch != nil {
+		e.cfg.OnEpoch(0)
+	}
 	hung := false
 	var runErr error
 	for {
@@ -332,6 +353,9 @@ func (e *Engine) Run() (Result, error) {
 			}
 			if e.replay && e.replayRecoverable() {
 				continue
+			}
+			if e.feedCanceled {
+				continue // Cancel fired during a feed wait: surface it at the loop top
 			}
 			hung = true
 			break
@@ -476,7 +500,13 @@ func reqWidth(r request) uint64 {
 // trailing micro-ops belong to the thread's next epoch, which is where the
 // recorded clock placed them.
 func (e *Engine) pickReplay() *threadCtx {
-	for e.epochIdx < len(e.epochs) {
+	for {
+		if e.epochIdx >= len(e.epochs) {
+			if e.pullEpochs() {
+				continue
+			}
+			break
+		}
 		ep := e.epochs[e.epochIdx]
 		t := e.threads[ep.Thread]
 		if t.state == stDone {
@@ -500,7 +530,13 @@ func (e *Engine) pickReplay() *threadCtx {
 		}
 		return nil // blocked mid-epoch: replayRecoverable decides
 	}
-	// All epochs consumed: let any remaining runnable thread finish.
+	// All epochs consumed (and, with a feed, the stream has ended): let any
+	// remaining runnable thread finish. A canceled feed wait also lands here
+	// with nothing runnable-by-schedule; returning nil then lets the run
+	// loop surface ErrCanceled instead of draining extra operations.
+	if e.feedCanceled {
+		return nil
+	}
 	for _, t := range e.threads {
 		if t.state == stReady {
 			return t
@@ -509,10 +545,47 @@ func (e *Engine) pickReplay() *threadCtx {
 	return nil
 }
 
+// pullEpochs extends e.epochs from the feed, blocking until the producer
+// appends more, closes the feed (returns false), or Cancel fires (returns
+// false with feedCanceled set so the run loop reports ErrCanceled rather
+// than a hang).
+func (e *Engine) pullEpochs() bool {
+	if e.feed == nil || e.feedCanceled {
+		return false
+	}
+	for {
+		eps, closed, wake := e.feed.take(e.feedRead)
+		if len(eps) > 0 {
+			// Copy into the engine's own schedule: replayRecoverable swaps
+			// and requeues epochs in place, which must never write back into
+			// the producer's published slice.
+			e.feedRead += len(eps)
+			e.epochs = append(e.epochs, eps...)
+			return true
+		}
+		if closed {
+			return false
+		}
+		if e.cfg.Cancel != nil {
+			select {
+			case <-wake:
+			case <-e.cfg.Cancel:
+				e.feedCanceled = true
+				return false
+			}
+		} else {
+			<-wake
+		}
+	}
+}
+
 func (e *Engine) advanceEpoch() {
 	e.epochIdx++
 	e.epochRun = 0
 	e.epochFresh = true
+	if e.cfg.OnEpoch != nil {
+		e.cfg.OnEpoch(e.epochIdx)
+	}
 }
 
 // replayRecoverable handles a blocked designated thread by looking for a
@@ -525,7 +598,21 @@ func (e *Engine) replayRecoverable() bool {
 		return false
 	}
 	cur := e.epochs[e.epochIdx]
-	for j := e.epochIdx + 1; j < len(e.epochs) && e.epochs[j].Time == cur.Time; j++ {
+	for j := e.epochIdx + 1; ; {
+		if j >= len(e.epochs) {
+			// With an open feed a concurrent equal-time epoch may still be
+			// in flight: the stream is sorted by Time, so keep pulling until
+			// an epoch beyond cur.Time proves no more can arrive (or the
+			// feed closes / the run is canceled). Leave j in place so the
+			// freshly pulled epoch is the next one examined.
+			if e.pullEpochs() {
+				continue
+			}
+			return false
+		}
+		if e.epochs[j].Time != cur.Time {
+			return false
+		}
 		t := e.threads[e.epochs[j].Thread]
 		if t.state == stReady {
 			e.epochs[e.epochIdx].Instr -= e.epochRun
@@ -534,8 +621,8 @@ func (e *Engine) replayRecoverable() bool {
 			e.epochFresh = true
 			return true
 		}
+		j++
 	}
-	return false
 }
 
 // process executes one parked request of thread t and returns the response

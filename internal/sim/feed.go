@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"sync"
+
+	"cord/internal/record"
+)
+
+// ReplayFeed is an appendable epoch source for streaming replay: a producer
+// (the service's online-detection ingest) appends epochs as they become
+// final, while an engine configured with Config.ReplayFeed consumes them,
+// blocking when it runs ahead of the stream. This is what turns the replay
+// scheduler from "replay a complete log" into "replay the log while it is
+// still arriving".
+//
+// Epochs must be appended in the global schedule order Log.Schedule (or
+// record.EpochStream) produces: nondecreasing Time, ties ordered by Index.
+// The engine's equal-time reordering (replayRecoverable) relies on the Time
+// sequence being sorted to decide when no concurrent epoch can still arrive.
+//
+// Append copies the epochs, so producers may reuse their slices (the
+// EpochStream release buffer, for instance) immediately. One producer and one
+// consuming engine is the supported topology; Append and CloseFeed may be
+// called from any goroutine.
+type ReplayFeed struct {
+	mu     sync.Mutex
+	epochs []record.Epoch
+	closed bool
+	wake   chan struct{}
+}
+
+// NewReplayFeed returns an empty, open feed.
+func NewReplayFeed() *ReplayFeed {
+	return &ReplayFeed{wake: make(chan struct{})}
+}
+
+// Append publishes more epochs to the consuming engine.
+func (f *ReplayFeed) Append(eps ...record.Epoch) {
+	if len(eps) == 0 {
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		panic("sim: ReplayFeed.Append after CloseFeed")
+	}
+	f.epochs = append(f.epochs, eps...)
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// CloseFeed declares end of stream: once the engine has consumed every
+// appended epoch it proceeds to the end-of-schedule drain instead of waiting.
+// CloseFeed is idempotent; Append after CloseFeed is a programming error and
+// panics (the closed wake channel is gone, but guard explicitly).
+func (f *ReplayFeed) CloseFeed() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.wake)
+		f.wake = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// Len returns the number of epochs appended so far (diagnostics).
+func (f *ReplayFeed) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.epochs)
+}
+
+// take returns the epochs published past the consumer's read position, the
+// closed flag, and a channel that closes on the next Append or CloseFeed.
+// The returned slice is never mutated afterwards (the producer only appends,
+// and growth reallocates), so the consumer may read it without the lock.
+func (f *ReplayFeed) take(from int) ([]record.Epoch, bool, <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epochs[from:], f.closed, f.wake
+}

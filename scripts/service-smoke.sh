@@ -1,11 +1,12 @@
 #!/bin/sh
 # End-to-end smoke test for the cordd service: build it, start it, exercise
-# one detect session, one replay session, and a streaming round-trip over
-# real HTTP, then SIGTERM it and assert a clean drain. CI runs this;
-# `make smoke-service` runs it locally.
+# one detect session, one replay session, a streaming round-trip, and an
+# online-detection stream (races surfacing in progress frames mid-upload,
+# PROTOCOL.md §4.7) over real HTTP, then SIGTERM it and assert a clean
+# drain. CI runs this; `make smoke-service` runs it locally.
 #
-# `sh scripts/service-smoke.sh stream` runs only the streaming round-trip
-# (plus the one-shot detect it compares against) — `make stream-smoke`.
+# `sh scripts/service-smoke.sh stream` runs only the streaming legs
+# (plus the one-shot detects they compare against) — `make stream-smoke`.
 #
 # Pure POSIX sh + curl + grep/sed: no test framework, no jq.
 set -eu
@@ -115,12 +116,86 @@ cmp -s "$DIR/stream-detect.json" "$DIR/detect9.json" \
 echo "service-smoke: streaming round-trip OK (log_match, detect block byte-identical)"
 SESSIONS=$((SESSIONS + 1))
 
-# Metrics must show every completed one-shot session and the stream.
+# Online detection (PROTOCOL.md §4.7): record a RACY fixture (one sync
+# instance removed), stream it with detect=online while holding back the
+# final 40 order records, and assert races surface in a progress frame
+# while the tail is still unsent. The races shipped in frames must be a
+# prefix of the one-shot answer's race list, and the end-of-stream detect
+# block must again be byte-identical to the one-shot body.
+"$DIR/cordreplay" -app fft -seed 1 -inject 2 -log "$DIR/racy.cordlog" >/dev/null \
+	|| fail "cordreplay could not record the racy fixture"
+curl -sf -X POST "http://$ADDR/v1/detect" \
+	-H 'Content-Type: application/json' \
+	-d '{"app":"fft","seed":1,"threads":4,"inject":2}' \
+	>"$DIR/detect-racy.json" || fail "one-shot detect (online reference) did not return 2xx"
+SESSIONS=$((SESSIONS + 1))
+
+SIZE=$(wc -c <"$DIR/racy.cordlog")
+HOLD=320 # the final 40 order records travel separately, after a pause
+HEADN=$(((SIZE - 16 - HOLD) / 8))
+TOTALN=$(((SIZE - 16) / 8))
+FIFO="$DIR/online.fifo"
+mkfifo "$FIFO"
+curl -sfN -X POST "http://$ADDR/v1/stream?app=fft&seed=1&threads=4&inject=2&detect=online&duty=100&inject_thread=0&inject_nth=2" \
+	-H 'Content-Type: application/octet-stream' \
+	-T - <"$FIFO" >"$DIR/stream-online.json" &
+CURL=$!
+exec 3>"$FIFO"
+dd if="$DIR/racy.cordlog" bs=1 count=$((SIZE - HOLD)) >&3 2>/dev/null
+sleep 2 # let the server drain the head before the tail exists client-side
+dd if="$DIR/racy.cordlog" bs=1 skip=$((SIZE - HOLD)) >&3 2>/dev/null
+exec 3>&-
+wait "$CURL" || fail "online stream request failed"
+
+# Mid-stream proof: the first progress frame that carries races records how
+# many order records had been ingested when it was emitted; that count must
+# fit in the head, i.e. the races were reported while the tail was unsent.
+MIDFRAMES=$(grep '"frame":"progress"' "$DIR/stream-online.json" |
+	grep '"new_races":\["race @' | head -1 |
+	sed 's/.*"frames":\([0-9]*\),.*/\1/')
+[ -n "$MIDFRAMES" ] || fail "no progress frame carried races"
+[ "$MIDFRAMES" -le "$HEADN" ] \
+	|| fail "races surfaced only after the final chunk (frames=$MIDFRAMES of $TOTALN, head=$HEADN)"
+echo "service-smoke: online races surfaced mid-stream (after $MIDFRAMES of $TOTALN records)"
+
+grep -q '"duty": 100' "$DIR/stream-online.json" || fail "online summary missing duty"
+grep -q '"coverage_pct": 100' "$DIR/stream-online.json" || fail "online coverage below 100% at duty=100"
+grep -q '"completed": true' "$DIR/stream-online.json" || fail "online replay did not complete"
+grep -q '"log_match": true' "$DIR/stream-online.json" || fail "online-streamed log did not match the re-execution"
+
+# Prefix property: concatenating every frame's new_races, in order, must
+# reproduce the head of the one-shot race list.
+grep '"frame":"progress"' "$DIR/stream-online.json" |
+	sed -n 's/.*"new_races":\[//p' | sed 's/\].*//' | tr ',' '\n' |
+	sed 's/^"//;s/"$//' | grep . >"$DIR/frame-races.txt" || true
+[ -s "$DIR/frame-races.txt" ] || fail "progress frames shipped no races"
+sed -n '/^  "races": \[$/,/^  \]$/p' "$DIR/detect-racy.json" |
+	sed '1d;$d' | sed 's/^    "//;s/",*$//' >"$DIR/detect-races.txt"
+head -n "$(wc -l <"$DIR/frame-races.txt")" "$DIR/detect-races.txt" |
+	cmp -s - "$DIR/frame-races.txt" \
+	|| fail "mid-stream races are not a prefix of the one-shot race list"
+
+# The summary document starts at the first line that is exactly "{" (frames
+# are compact single lines); its detect block must match the one-shot body.
+sed -n '/^{$/,$p' "$DIR/stream-online.json" >"$DIR/online-summary.json"
+sed -n '/^  "detect": {$/,$p' "$DIR/online-summary.json" | sed '$d' |
+	sed -e '1s/.*/{/' -e '2,$s/^  //' >"$DIR/online-detect.json"
+cmp -s "$DIR/online-detect.json" "$DIR/detect-racy.json" \
+	|| fail "online detect block is not byte-identical to one-shot /v1/detect"
+echo "service-smoke: online leg OK (races prefix, detect block byte-identical)"
+
+# Metrics must show every completed one-shot session, both streams, and the
+# online session's counters.
 curl -sf "http://$ADDR/metrics" >"$DIR/metrics.json" || fail "metrics not served"
 grep -q "\"completed\": $SESSIONS" "$DIR/metrics.json" \
 	|| fail "metrics do not show $SESSIONS completed sessions"
 grep -q '"streams"' "$DIR/metrics.json" || fail "metrics missing streams block"
 grep -q '"frames_ingested"' "$DIR/metrics.json" || fail "metrics missing frames_ingested"
+grep -q '"online_sessions": 1' "$DIR/metrics.json" || fail "metrics do not show the online session"
+if grep -q '"online_races": 0,' "$DIR/metrics.json"; then
+	fail "metrics show zero online races"
+fi
+grep -q '"online_divergences": 0' "$DIR/metrics.json" || fail "metrics show online divergences"
 echo "service-smoke: metrics OK"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.

@@ -2,10 +2,14 @@
 # Sustained-throughput streaming measurement: build cordd, start it, drive
 # concurrent /v1/stream uploads with cordload -stream, and merge the best
 # stage's records/sec into bench/BENCH_perf.json (the `streaming` block —
-# see EXPERIMENTS.md, "Sustained-throughput streaming").
+# see EXPERIMENTS.md, "Sustained-throughput streaming"). A second sweep
+# re-streams a recorded fixture with detect=online at each STREAM_DUTIES
+# point and lands the `streaming-online` block, pricing mid-stream
+# detection against the duty=0 ingest baseline.
 #
 # Knobs (environment): CORDD_PORT, STREAM_SWEEP, STREAM_N, STREAM_FRAMES,
-# STREAM_CHUNK, PERF_OUT. `make stream-perf` runs the defaults.
+# STREAM_CHUNK, STREAM_DUTIES, PERF_OUT. `make stream-perf` runs the
+# defaults.
 set -eu
 
 PORT="${CORDD_PORT:-18081}"
@@ -14,6 +18,7 @@ SWEEP="${STREAM_SWEEP:-1,2,4,8}"
 N="${STREAM_N:-8}"
 FRAMES="${STREAM_FRAMES:-200000}"
 CHUNK="${STREAM_CHUNK:-65536}"
+DUTIES="${STREAM_DUTIES:-0,50,100}"
 PERF_OUT="${PERF_OUT:-bench/BENCH_perf.json}"
 DIR="$(mktemp -d)"
 PID=""
@@ -57,4 +62,12 @@ done
 	|| fail "cordload -stream reported hard errors"
 
 grep -q '"streaming"' "$PERF_OUT" || fail "$PERF_OUT gained no streaming block"
-echo "stream-perf: PASS (streaming records/sec merged into $PERF_OUT)"
+
+# Online duty sweep: a recorded fixture streamed with detect=online at each
+# duty point (EXPERIMENTS.md, "Pricing online detection").
+"$DIR/cordload" -addr "http://$ADDR" -stream -duty "$DUTIES" -sweep "$SWEEP" \
+	-n "$N" -chunk "$CHUNK" -perf-out "$PERF_OUT" \
+	|| fail "cordload -stream -duty reported hard errors"
+
+grep -q '"streaming-online"' "$PERF_OUT" || fail "$PERF_OUT gained no streaming-online block"
+echo "stream-perf: PASS (streaming and streaming-online merged into $PERF_OUT)"
