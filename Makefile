@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures serve loadtest smoke-service stream-smoke stream-perf resume-smoke fuzz-smoke clean
+.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures table1-determinism serve loadtest smoke-service stream-smoke stream-perf resume-smoke fuzz-smoke clean
 
 check: fmt vet build test
 
@@ -61,6 +61,19 @@ json-figures:
 # Gate a fresh run against the committed baselines; non-zero exit on drift.
 diff-figures:
 	$(GO) run ./cmd/cordbench $(GOLDEN_FLAGS) -diff bench
+
+# Table 1 (FastTrack metadata column included) must come out byte-identical
+# whether the campaign runs serial or fanned out: the detector columns are
+# functions of the seeds alone. CI runs this.
+table1-determinism:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/cordbench -table1 -injections 8 -q -procs 1 -json $$tmp/p1 > /dev/null; \
+	$(GO) run ./cmd/cordbench -table1 -injections 8 -q -procs 4 -json $$tmp/p4 > /dev/null; \
+	if cmp $$tmp/p1/BENCH_table1.json $$tmp/p4/BENCH_table1.json; then \
+		echo "table1 byte-identical at -procs 1 and -procs 4"; rm -rf $$tmp; \
+	else \
+		echo "table1 differs between -procs 1 and -procs 4"; rm -rf $$tmp; exit 1; \
+	fi
 
 # Run the cordd race-detection service in the foreground (see README,
 # "Running the service"). Override the listen address with ADDR=:9090.

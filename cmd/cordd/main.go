@@ -71,6 +71,12 @@ func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int
 	if streamWorkers < 0 {
 		return fmt.Errorf("-stream-workers must be at least 1 (or 0 for the default)")
 	}
+	// The ingest fan-out partitions work by simulated thread, so workers
+	// beyond the server's thread ceiling can never be scheduled — reject the
+	// misconfiguration up front instead of silently idling the extras.
+	if streamWorkers > server.MaxThreads {
+		return fmt.Errorf("-stream-workers must be at most %d (the session thread ceiling)", server.MaxThreads)
+	}
 	return nil
 }
 

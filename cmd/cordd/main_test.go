@@ -3,6 +3,8 @@ package main
 import (
 	"testing"
 	"time"
+
+	"cord/internal/server"
 )
 
 // TestValidateFlags: degenerate service parameters must be rejected up front
@@ -41,6 +43,10 @@ func TestValidateFlags(t *testing.T) {
 		{"zero stream duty", 4, 16, s, s, 1 << 20, 8, s, 1 << 20, 1 << 20, 0, 0, true},
 		{"duty above range", 4, 16, s, s, 1 << 20, 8, s, 1 << 20, 1 << 20, 101, 0, true},
 		{"negative stream workers", 4, 16, s, s, 1 << 20, 8, s, 1 << 20, 1 << 20, 100, -1, true},
+		{"stream workers at thread ceiling", 4, 16, s, s, 1 << 20, 8, s, 1 << 20, 1 << 20, 100, server.MaxThreads, false},
+		{"stream workers above thread ceiling", 4, 16, s, s, 1 << 20, 8, s, 1 << 20, 1 << 20, 100, server.MaxThreads + 1, true},
+		{"duty lower bound", 4, 16, s, s, 1 << 20, 8, s, 1 << 20, 1 << 20, 1, 0, false},
+		{"duty upper bound", 4, 16, s, s, 1 << 20, 8, s, 1 << 20, 1 << 20, 100, 0, false},
 	}
 	for _, tc := range cases {
 		err := validateFlags(tc.workers, tc.queue, tc.timeout, tc.drain, tc.maxBody,

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"sync"
+
+	"cord/internal/clock"
+	"cord/internal/memsys"
+)
+
+// This file is the sharded shadow memory behind the FastTrack baseline
+// detector (fasttrack.go): per-word shadow state plus per-sync-variable
+// vector clocks, partitioned by address across N independently locked
+// shards. Sharding exists purely so one simulation's detection work can
+// spread over host cores — shard count never changes what is stored per
+// address, so detection results are identical at any shard count.
+
+// epochNone marks an empty epoch slot in a shadow word.
+const epochNone = int32(-1)
+
+// ftEpoch is FastTrack's compressed timestamp: one clock component and the
+// thread it belongs to — the paper's c@t. A single epoch replaces a full
+// vector clock wherever the last access is totally ordered with everything
+// that matters (last writes always; reads until they become concurrent).
+type ftEpoch struct {
+	clock  uint64
+	thread int32
+}
+
+// ftWord is the shadow state of one data word: the last-write epoch and the
+// adaptive read representation — a single epoch in the common
+// (exclusive/same-epoch) case, inflated to a full vector only while reads
+// are concurrent. A write to a read-shared word deflates it back to epochs.
+type ftWord struct {
+	write ftEpoch
+	read  ftEpoch
+	// readVec is non-nil iff the read state is inflated: readVec[t] is the
+	// clock component of thread t's last read (0 = never read).
+	readVec clock.Vector
+}
+
+// ftShard is one lock's worth of shadow memory: the words and sync
+// variables whose addresses hash here. Deflated read vectors are recycled
+// through a per-shard free list so the inflate/deflate cycle settles into
+// zero steady-state allocation.
+type ftShard struct {
+	mu    sync.Mutex
+	words map[memsys.Addr]*ftWord
+	syncs map[memsys.Addr]clock.Vector
+
+	freeVecs []clock.Vector
+	// metaWords counts the live shadow-state footprint in words, the
+	// FastTrack paper's metadata metric: 1 word per epoch, threads words per
+	// (sync or inflated read) vector.
+	metaWords int
+}
+
+// shadowMem is the sharded shadow memory: an address's shadow state lives in
+// exactly one shard, chosen by word index, and every touch of it happens
+// under that shard's lock.
+type shadowMem struct {
+	shards []ftShard
+	mask   uint64
+}
+
+// newShadowMem builds a shadow memory with the given shard count, rounded up
+// to a power of two (minimum 1).
+func newShadowMem(shards int) *shadowMem {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &shadowMem{shards: make([]ftShard, n), mask: uint64(n - 1)}
+	for i := range m.shards {
+		m.shards[i].words = make(map[memsys.Addr]*ftWord)
+		m.shards[i].syncs = make(map[memsys.Addr]clock.Vector)
+	}
+	return m
+}
+
+// shard returns the shard owning addr. Word-granular interleaving keeps
+// neighbouring words of one line in distinct shards, which is what lets the
+// sharded kernel's threads proceed without false lock sharing.
+func (m *shadowMem) shard(a memsys.Addr) *ftShard {
+	return &m.shards[(uint64(a)/memsys.WordBytes)&m.mask]
+}
+
+// word returns addr's shadow word, creating an empty one on first touch.
+// Callers hold the shard lock.
+func (s *ftShard) word(a memsys.Addr) *ftWord {
+	w := s.words[a]
+	if w == nil {
+		w = &ftWord{write: ftEpoch{thread: epochNone}, read: ftEpoch{thread: epochNone}}
+		s.words[a] = w
+		s.metaWords += 2
+	}
+	return w
+}
+
+// sync returns addr's sync-variable vector (the last release's clock),
+// creating a zero vector on first touch. Callers hold the shard lock.
+func (s *ftShard) sync(a memsys.Addr, threads int) clock.Vector {
+	v := s.syncs[a]
+	if v == nil {
+		v = clock.NewVector(threads)
+		s.syncs[a] = v
+		s.metaWords += threads
+	}
+	return v
+}
+
+// inflate switches w's read state to the vector representation, reusing a
+// previously deflated vector when one is free. Callers hold the shard lock.
+func (s *ftShard) inflate(w *ftWord, threads int) clock.Vector {
+	var v clock.Vector
+	if n := len(s.freeVecs); n > 0 {
+		v = s.freeVecs[n-1]
+		s.freeVecs = s.freeVecs[:n-1]
+		clear(v)
+	} else {
+		v = clock.NewVector(threads)
+	}
+	w.readVec = v
+	s.metaWords += threads
+	return v
+}
+
+// deflate drops w's read vector back onto the free list (a write to a
+// read-shared word returns the word to the epoch representation). Callers
+// hold the shard lock.
+func (s *ftShard) deflate(w *ftWord) {
+	s.metaWords -= len(w.readVec)
+	s.freeVecs = append(s.freeVecs, w.readVec)
+	w.readVec = nil
+}
+
+// metadataWords sums the live shadow footprint across shards. The total is a
+// pure function of the access history — shard count only partitions it.
+func (m *shadowMem) metadataWords() int {
+	total := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		total += s.metaWords
+		s.mu.Unlock()
+	}
+	return total
+}

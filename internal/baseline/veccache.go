@@ -102,10 +102,14 @@ type VecCache struct {
 	scratch   []vecConflict
 
 	// freeVCs recycles the vectors of displaced history entries (slot
-	// rotation and capacity evictions — the per-access allocation hot spot).
-	// Invalidation-dropped vectors are deliberately not recycled: probe
-	// scratch may still alias them within the current access.
+	// rotation, capacity evictions, and — via pendingFree — write
+	// invalidations; together the per-access allocation hot spots).
 	freeVCs []clock.Vector
+	// pendingFree stages invalidation-dropped vectors within one access:
+	// probe scratch still aliases them until the access completes, so they
+	// join freeVCs only at the end of OnAccess, after the local stamp (the
+	// only consumer of freeVCs) has run.
+	pendingFree []clock.Vector
 }
 
 type vecConflict struct {
@@ -236,6 +240,13 @@ func (d *VecCache) OnAccess(a trace.Access) trace.Report {
 	if a.Class == trace.Sync && a.Kind == trace.Write {
 		my.Tick(a.Thread)
 	}
+
+	// The access is complete: nothing aliases the invalidation-dropped
+	// vectors any more, so they can finally be recycled.
+	if len(d.pendingFree) > 0 {
+		d.freeVCs = append(d.freeVCs, d.pendingFree...)
+		d.pendingFree = d.pendingFree[:0]
+	}
 	return rep
 }
 
@@ -276,8 +287,9 @@ func (d *VecCache) cloneVC(my clock.Vector) clock.Vector {
 }
 
 // freeVC recycles a displaced entry's vector. Only displacement paths may
-// call it (stamp rotation, flushLine): vectors dropped by invalidation can
-// still be aliased by the probe scratch of the in-flight access.
+// call it (stamp rotation, flushLine); invalidation-dropped vectors go
+// through pendingFree instead, because the probe scratch of the in-flight
+// access can still alias them.
 func (d *VecCache) freeVC(e vecEntry) {
 	if e.valid && e.vc != nil {
 		d.freeVCs = append(d.freeVCs, e.vc)
@@ -327,7 +339,14 @@ func (d *VecCache) probeRemotes(proc int, line memsys.Line, word int, kind trace
 			// evictions and history-slot rotation), never invalidations.
 			// The conflicting words were just checked above; history for
 			// other words is simply lost, which can only hide races, never
-			// fabricate them.
+			// fabricate them. The dropped vectors are still aliased by the
+			// scratch built above, so they are staged in pendingFree and
+			// reach the free list only when the access finishes.
+			for i := range ls.hist {
+				if e := &ls.hist[i]; e.valid && e.vc != nil {
+					d.pendingFree = append(d.pendingFree, e.vc)
+				}
+			}
 			d.caches[q].Remove(line)
 		}
 	}

@@ -37,8 +37,10 @@ import (
 
 // SchemaVersion is the journal format version. Open rejects files written by
 // a different version instead of mis-parsing them; campaign keys embed it
-// too, so outcome-shape changes invalidate stale entries.
-const SchemaVersion = 1
+// too, so outcome-shape changes invalidate stale entries. Version 2 added
+// the FastTrack detector configuration (new Table1Row field and detection
+// outcome keys), so version-1 journals must not satisfy version-2 runs.
+const SchemaVersion = 2
 
 // magic identifies a journal file.
 const magic = "CORDCKPT"

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFastTrackConfirmedAllApps runs a small injection campaign over every
+// Table 1 application and checks the FastTrack baseline's soundness bound:
+// its happens-before model never reports a race the Ideal oracle rejects
+// (the campaign's FalsePositives counter includes FastTrack reports), and
+// per app it never detects more problems than Ideal.
+func TestFastTrackConfirmedAllApps(t *testing.T) {
+	res, err := RunDetection(Options{Injections: 3, BaseSeed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 12 {
+		t.Fatalf("apps = %d, want all 12", len(res.Apps))
+	}
+	if res.FalsePositives() != 0 {
+		t.Fatalf("false positives: %d", res.FalsePositives())
+	}
+	detected := 0
+	for _, a := range res.Apps {
+		if a.Problems[cfgFT] > a.Problems[cfgIdeal] {
+			t.Fatalf("%s: FastTrack problems %d > Ideal %d",
+				a.App, a.Problems[cfgFT], a.Problems[cfgIdeal])
+		}
+		detected += a.Problems[cfgFT]
+	}
+	if detected == 0 {
+		t.Fatal("FastTrack detected no problems across the whole campaign")
+	}
+}
+
+// TestFastTrackShardCountInvariantCampaign: FTShards, like Procs, must not
+// leak into results — sharding only partitions shadow state by address.
+func TestFastTrackShardCountInvariantCampaign(t *testing.T) {
+	run := func(shards int) (*DetectionResults, []Table1Row) {
+		o := smallOpts()
+		o.FTShards = shards
+		res, err := RunDetection(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := RunTable1(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rows
+	}
+	res1, rows1 := run(1)
+	res8, rows8 := run(8)
+	if !reflect.DeepEqual(res1, res8) {
+		t.Fatalf("detection results differ between FTShards=1 and FTShards=8:\n%+v\nvs\n%+v", res1, res8)
+	}
+	if !reflect.DeepEqual(rows1, rows8) {
+		t.Fatalf("Table1 rows differ between FTShards=1 and FTShards=8:\n%+v\nvs\n%+v", rows1, rows8)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"text/tabwriter"
 
+	"cord/internal/baseline"
 	"cord/internal/sim"
+	"cord/internal/trace"
 	"cord/internal/workload"
 )
 
@@ -18,6 +20,11 @@ type Table1Row struct {
 	Instructions  uint64 `json:"instructions"`
 	SyncInstances uint64 `json:"sync_instances"`
 	Footprint     int    `json:"footprint"` // distinct non-zero words touched
+	// FastTrackWords is the FastTrack baseline's live shadow-metadata
+	// footprint at the end of the sizing run, in machine words (two epochs
+	// per touched data word, a vector clock per sync variable, plus any
+	// read vectors still inflated). Shard-count independent.
+	FastTrackWords int `json:"fasttrack_words"`
 }
 
 // Table1Figure is the numeric view of the catalogue, the representation
@@ -26,11 +33,12 @@ func Table1Figure(rows []Table1Row) Figure {
 	f := Figure{
 		ID:      "table1",
 		Title:   "Application catalogue at this scale (Table 1)",
-		Columns: []string{"accesses", "instructions", "sync instances", "words touched"},
+		Columns: []string{"accesses", "instructions", "sync instances", "words touched", "fasttrack words"},
 	}
 	for _, r := range rows {
 		f.Rows = append(f.Rows, Row{Label: r.App, Values: []float64{
-			float64(r.Accesses), float64(r.Instructions), float64(r.SyncInstances), float64(r.Footprint),
+			float64(r.Accesses), float64(r.Instructions), float64(r.SyncInstances),
+			float64(r.Footprint), float64(r.FastTrackWords),
 		}})
 	}
 	return f
@@ -46,17 +54,21 @@ func RunTable1(o Options) ([]Table1Row, error) {
 	if err := o.forEach(len(o.Apps), func(i int) error {
 		return o.journaledRun("table1", i, 0, &rows[i], func() error {
 			app := o.Apps[i]
-			res, err := o.runSim("sizing", app, o.Threads, sim.Config{Seed: o.BaseSeed})
+			ft := baseline.NewFastTrack(baseline.FastTrackConfig{Threads: o.Threads, Shards: o.FTShards})
+			res, err := o.runSim("sizing", app, o.Threads, sim.Config{
+				Seed: o.BaseSeed, Observers: []trace.Observer{ft},
+			})
 			if err != nil {
 				return err
 			}
 			rows[i] = Table1Row{
-				App:           app.Name,
-				PaperInput:    app.Input,
-				Accesses:      res.Accesses,
-				Instructions:  res.Ops,
-				SyncInstances: res.SyncInstances,
-				Footprint:     res.Mem.Footprint(),
+				App:            app.Name,
+				PaperInput:     app.Input,
+				Accesses:       res.Accesses,
+				Instructions:   res.Ops,
+				SyncInstances:  res.SyncInstances,
+				Footprint:      res.Mem.Footprint(),
+				FastTrackWords: ft.MetadataWords(),
 			}
 			return nil
 		})
@@ -68,10 +80,10 @@ func RunTable1(o Options) ([]Table1Row, error) {
 
 // RenderTable1 writes the catalogue.
 func RenderTable1(rows []Table1Row, w *tabwriter.Writer) {
-	fmt.Fprintln(w, "app\tpaper input\taccesses\tinstructions\tsync instances\twords touched")
+	fmt.Fprintln(w, "app\tpaper input\taccesses\tinstructions\tsync instances\twords touched\tfasttrack words")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\n",
-			r.App, r.PaperInput, r.Accesses, r.Instructions, r.SyncInstances, r.Footprint)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			r.App, r.PaperInput, r.Accesses, r.Instructions, r.SyncInstances, r.Footprint, r.FastTrackWords)
 	}
 }
 

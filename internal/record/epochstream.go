@@ -63,7 +63,7 @@ func (s *EpochStream) Push(e Entry) ([]Epoch, error) {
 	}
 	t := int(e.Thread)
 	if t >= len(s.last) {
-		s.err = fmt.Errorf("record: entry %d names thread %d, have %d threads", s.next, t, len(s.last))
+		s.err = fmt.Errorf("%w: entry %d names thread %d, have %d threads", ErrOrderViolation, s.next, t, len(s.last))
 		return nil, s.err
 	}
 	if !s.started[t] {
@@ -73,7 +73,7 @@ func (s *EpochStream) Push(e Entry) ([]Epoch, error) {
 	} else {
 		delta := uint16(e.Clock - s.last[t])
 		if int(delta) > clock.Window {
-			s.err = fmt.Errorf("record: entry %d clock regressed for thread %d", s.next, t)
+			s.err = fmt.Errorf("%w: entry %d clock regressed for thread %d", ErrOrderViolation, s.next, t)
 			return nil, s.err
 		}
 		s.unwrapped[t] += uint64(delta)

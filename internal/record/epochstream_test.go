@@ -272,3 +272,28 @@ func TestStreamDecoderResetContract(t *testing.T) {
 		t.Fatalf("continuation stream accepted after Reset: %v", err)
 	}
 }
+
+func TestEpochStreamRejectsOrderViolationTyped(t *testing.T) {
+	// The streaming path must produce the same typed order_violation
+	// verdicts as the one-shot Schedule, and stay sticky afterwards.
+	t.Run("regressed clock near the wrap", func(t *testing.T) {
+		s := NewEpochStream(1)
+		if _, err := s.Push(Entry{Clock: 0x0010, Thread: 0, Instr: 1}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Push(Entry{Clock: 0xFFF0, Thread: 0, Instr: 1})
+		if !errors.Is(err, ErrOrderViolation) {
+			t.Fatalf("err = %v, want ErrOrderViolation", err)
+		}
+		// Sticky: the violated stream keeps answering with the same verdict.
+		if _, err := s.Push(Entry{Clock: 0x0011, Thread: 0, Instr: 1}); !errors.Is(err, ErrOrderViolation) {
+			t.Fatalf("sticky err = %v, want ErrOrderViolation", err)
+		}
+	})
+	t.Run("thread outside the session", func(t *testing.T) {
+		s := NewEpochStream(2)
+		if _, err := s.Push(Entry{Clock: 1, Thread: 7, Instr: 1}); !errors.Is(err, ErrOrderViolation) {
+			t.Fatalf("err = %v, want ErrOrderViolation", err)
+		}
+	})
+}

@@ -107,6 +107,14 @@ func (l *Log) EncodeTo(w io.Writer) error {
 // ErrBadFormat reports a malformed encoded log.
 var ErrBadFormat = errors.New("record: malformed log stream")
 
+// ErrOrderViolation reports a structurally well-formed log whose entries
+// break the §3 order invariants — a thread ID outside the session, or a
+// per-thread clock delta outside the unwrap window (a regressed or tampered
+// clock). PROTOCOL.md §5 maps it onto the order_violation taxonomy (HTTP
+// 422): the log parsed, but no valid schedule exists for it. Test with
+// errors.Is(err, ErrOrderViolation).
+var ErrOrderViolation = errors.New("record: order invariant violated")
+
 // DecodeFrom reads a log previously written by EncodeTo. It is the one-shot
 // entry point over the same incremental parser the streaming ingest path
 // uses (StreamDecoder): the header is validated first, then entries are read
@@ -179,7 +187,7 @@ func (l *Log) Schedule(numThreads int) ([]Epoch, error) {
 	for i, e := range l.entries {
 		t := int(e.Thread)
 		if t >= numThreads {
-			return nil, fmt.Errorf("record: entry %d names thread %d, have %d threads", i, t, numThreads)
+			return nil, fmt.Errorf("%w: entry %d names thread %d, have %d threads", ErrOrderViolation, i, t, numThreads)
 		}
 		if !started[t] {
 			started[t] = true
@@ -187,7 +195,7 @@ func (l *Log) Schedule(numThreads int) ([]Epoch, error) {
 		} else {
 			delta := uint16(e.Clock - last[t])
 			if int(delta) > clock.Window {
-				return nil, fmt.Errorf("record: entry %d clock regressed for thread %d", i, t)
+				return nil, fmt.Errorf("%w: entry %d clock regressed for thread %d", ErrOrderViolation, i, t)
 			}
 			unwrapped[t] += uint64(delta)
 		}

@@ -202,3 +202,30 @@ func TestSizeBytes(t *testing.T) {
 		t.Fatalf("SizeBytes = %d", l.SizeBytes())
 	}
 }
+
+func TestScheduleRejectsOrderViolationTyped(t *testing.T) {
+	// Adversarial logs must surface the order_violation taxonomy
+	// (PROTOCOL.md §3/§5) as a typed sentinel, not an anonymous error.
+	t.Run("regressed clock near the wrap", func(t *testing.T) {
+		var l Log
+		// A tampered entry steps the clock backwards just under the wrap
+		// point: the unsigned delta lands outside the unwrap window.
+		l.Append(Entry{Clock: 0x0010, Thread: 0, Instr: 1})
+		l.Append(Entry{Clock: 0xFFF0, Thread: 0, Instr: 1}) // delta 0xFFE0 > Window
+		_, err := l.Schedule(1)
+		if err == nil {
+			t.Fatal("regressed clock accepted")
+		}
+		if !errors.Is(err, ErrOrderViolation) {
+			t.Fatalf("err = %v, want ErrOrderViolation", err)
+		}
+	})
+	t.Run("thread outside the session", func(t *testing.T) {
+		var l Log
+		l.Append(Entry{Clock: 1, Thread: 7, Instr: 1})
+		_, err := l.Schedule(2)
+		if !errors.Is(err, ErrOrderViolation) {
+			t.Fatalf("err = %v, want ErrOrderViolation", err)
+		}
+	})
+}

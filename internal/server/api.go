@@ -287,6 +287,11 @@ func RunReplay(ctx context.Context, req ReplayRequest, log *record.Log) (*Replay
 
 	epochs, err := log.Schedule(req.Threads)
 	if err != nil {
+		if errors.Is(err, record.ErrOrderViolation) {
+			// Keep the typed verdict: the HTTP layer answers 422 /
+			// order_violation, like the streaming ingest path does.
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	cfg := sim.Config{Seed: req.Seed, ReplayEpochs: epochs, Cancel: ctx.Done()}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"cord/internal/baseline"
 	"cord/internal/core"
 	"cord/internal/record"
 	"cord/internal/sim"
@@ -30,6 +31,9 @@ import (
 // It is a pure function of the streamed bytes and the session parameters —
 // chunk timing never changes it — so summaries stay byte-deterministic.
 type OnlineSummary struct {
+	// Detector names the detector family the session ran ("cord" or
+	// "fasttrack", the detector= query parameter).
+	Detector string `json:"detector"`
 	// Duty is the effective duty percentage the session ran with.
 	Duty int `json:"duty"`
 	// EpochsTotal counts the epochs the online replay advanced through
@@ -83,7 +87,18 @@ type errorFrame struct {
 	Error  string `json:"error"`
 }
 
-// dutyGate wraps the online CORD detector as the replay engine's observer,
+// onlineDetector is what the duty gate needs from the session's detector:
+// the observer feed plus race accounting. Both the CORD detector
+// (detector=cord) and the FastTrack baseline (detector=fasttrack) satisfy
+// it, so an online session can run either family over the identical epoch
+// schedule.
+type onlineDetector interface {
+	trace.Observer
+	Races() []trace.Race
+	RaceCount() int
+}
+
+// dutyGate wraps the online detector as the replay engine's observer,
 // gating OnAccess by the session's duty cycle. The gate flips only at epoch
 // boundaries (the engine's OnEpoch callback): epoch idx is observed iff
 // idx%100 < duty, so duty=100 observes everything and duty=0 nothing, with
@@ -94,7 +109,7 @@ type errorFrame struct {
 // Everything except the mu-guarded snapshot fields is touched only by the
 // engine goroutine; the stream handler reads progress through snapshots.
 type dutyGate struct {
-	det  *core.Detector
+	det  onlineDetector
 	duty int
 
 	on       bool   // detection enabled for the current epoch
@@ -109,11 +124,14 @@ type dutyGate struct {
 	pending  []string // race strings not yet shipped in a progress frame
 }
 
-func newDutyGate(req DetectRequest, duty int) *dutyGate {
-	return &dutyGate{
-		det:  core.New(core.Config{Threads: req.Threads, Procs: req.Threads, D: req.D}),
-		duty: duty,
+func newDutyGate(req DetectRequest, duty int, detector string) *dutyGate {
+	var det onlineDetector
+	if detector == "fasttrack" {
+		det = baseline.NewFastTrack(baseline.FastTrackConfig{Threads: req.Threads})
+	} else {
+		det = core.New(core.Config{Threads: req.Threads, Procs: req.Threads, D: req.D})
 	}
+	return &dutyGate{det: det, duty: duty}
 }
 
 // Name implements trace.Observer.
@@ -190,6 +208,7 @@ type onlineOutcome struct {
 // zero point measures pure ingest.
 type onlineSession struct {
 	duty      int
+	detector  string
 	workers   int
 	maxFrames uint64
 
@@ -213,14 +232,18 @@ type onlineSession struct {
 // scheduler), the recorded run's injection identity re-applied.
 func startOnline(opts streamOptions, workers int) *onlineSession {
 	o := &onlineSession{
-		duty:    opts.duty,
-		workers: workers,
-		es:      record.NewEpochStream(opts.req.Threads),
+		duty:     opts.duty,
+		detector: opts.detector,
+		workers:  workers,
+		es:       record.NewEpochStream(opts.req.Threads),
+	}
+	if o.detector == "" {
+		o.detector = "cord"
 	}
 	if opts.duty == 0 {
 		return o
 	}
-	o.gate = newDutyGate(opts.req, opts.duty)
+	o.gate = newDutyGate(opts.req, opts.duty, o.detector)
 	o.feed = sim.NewReplayFeed()
 	o.cancel = make(chan struct{})
 	o.done = make(chan onlineOutcome, 1)
@@ -404,7 +427,7 @@ func (o *onlineSession) stop() {
 // Hung set, or a replay-divergence error, is a verdict; anything else was
 // already turned into a transport error by the caller.
 func (o *onlineSession) summary(out *onlineOutcome) *OnlineSummary {
-	s := &OnlineSummary{Duty: o.duty}
+	s := &OnlineSummary{Detector: o.detector, Duty: o.duty}
 	if o.feed == nil { // duty=0: ingest-only accounting
 		s.EpochsTotal = o.released
 		s.Completed = true

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -262,6 +263,11 @@ func (s *Server) serve(sess *session) {
 	case errors.Is(err, context.Canceled):
 		s.m.bump(func(c *SessionCounters) { c.Canceled++ })
 		res = sessionResult{status: statusClientGone}
+	case errors.Is(err, record.ErrOrderViolation):
+		// The log parsed but violates the §3 order invariants: 422 per the
+		// PROTOCOL.md §5 taxonomy, matching the streaming path's verdict.
+		s.m.bump(func(c *SessionCounters) { c.Failed++ })
+		res = errorResult(http.StatusUnprocessableEntity, err)
 	case errors.Is(err, ErrBadRequest):
 		s.m.bump(func(c *SessionCounters) { c.Failed++ })
 		res = errorResult(http.StatusBadRequest, err)
@@ -290,8 +296,9 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, run func(ctx c
 		s.release()
 		s.m.bump(func(c *SessionCounters) { c.RejectedQueueFull++ })
 		// The queue holds whole sessions, so a slot frees no sooner than
-		// one session's service time; 1s is a deliberately coarse hint.
-		w.Header().Set("Retry-After", "1")
+		// one session's service time: hint with the endpoint's observed
+		// p50 handler latency, like the stream-slot 429 path.
+		w.Header().Set("Retry-After", s.retryAfter(r.URL.Path))
 		writeError(w, http.StatusTooManyRequests, errors.New("session queue is full"))
 		return
 	}
@@ -303,6 +310,24 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, run func(ctx c
 		return // nobody left to write to
 	}
 	writeBody(w, res.status, res.body)
+}
+
+// retryAfter derives a 429 Retry-After hint from the endpoint's observed p50
+// handler latency — queue wait plus execution — rounded up to whole seconds
+// and clamped to [1, 30]: the median session time approximates when a slot
+// frees up. A cold server with no history falls back to 1 second.
+func (s *Server) retryAfter(endpoint string) string {
+	secs := 1
+	if p50, ok := s.m.p50Ms(endpoint); ok {
+		secs = int(math.Ceil(p50 / 1000))
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 30 {
+			secs = 30
+		}
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {

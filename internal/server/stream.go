@@ -7,10 +7,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"math"
 	"net/http"
 	"os"
-	"strconv"
 	"time"
 
 	"cord/internal/clock"
@@ -33,9 +31,11 @@ import (
 
 // errOrderViolation marks a stream whose entries break the order-recording
 // invariants of PROTOCOL.md §3 (a clock delta outside the comparison window,
-// or an entry naming a thread the session does not have). The HTTP layer maps
-// it to 422 / code "order_violation".
-var errOrderViolation = errors.New("server: order-record invariant violated")
+// or an entry naming a thread the session does not have). It is the record
+// layer's sentinel: the streaming fold, record.Schedule, and
+// record.EpochStream all produce the same typed verdict, and the HTTP layer
+// maps it to 422 / code "order_violation" on every path.
+var errOrderViolation = record.ErrOrderViolation
 
 // streamShard is one thread's slice of a session's detector state. Shards
 // are independent by construction — entry ordering constraints are
@@ -217,6 +217,9 @@ type streamOptions struct {
 	// the online replay, exactly like a /v1/replay request; -1 = none.
 	injectThread int
 	injectNth    uint64
+	// detector selects the online detector family (PROTOCOL.md §4.7):
+	// "cord" (the default) or "fasttrack".
+	detector string
 }
 
 // parseStreamQuery extracts the session parameters (the DetectRequest
@@ -265,6 +268,17 @@ func parseStreamQuery(r *http.Request) (streamOptions, error) {
 			return o, fmt.Errorf("%w: duty: want an integer in [0, 100], got %q", ErrBadRequest, v)
 		}
 		o.duty = n
+	}
+	switch v := q.Get("detector"); v {
+	case "":
+		o.detector = "cord"
+	case "cord", "fasttrack":
+		if !o.online {
+			return o, fmt.Errorf("%w: detector requires detect=online", ErrBadRequest)
+		}
+		o.detector = v
+	default:
+		return o, fmt.Errorf("%w: detector: want cord or fasttrack, got %q", ErrBadRequest, v)
 	}
 	if v := q.Get("inject_thread"); v != "" {
 		if !o.online {
@@ -379,21 +393,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamRetryAfter computes the Retry-After value for a stream-slot 429 from
-// the observed /v1/stream latency: the p50 session duration (rounded up to
-// whole seconds, clamped to [1, 30]) approximates when a slot will free up.
-// A cold server with no history falls back to 1 second.
+// the observed /v1/stream latency (see Server.retryAfter — the session-queue
+// 429 path uses the same derivation for its endpoints).
 func (s *Server) streamRetryAfter() string {
-	secs := 1
-	if p50, ok := s.m.p50Ms("/v1/stream"); ok {
-		secs = int(math.Ceil(p50 / 1000))
-		if secs < 1 {
-			secs = 1
-		}
-		if secs > 30 {
-			secs = 30
-		}
-	}
-	return strconv.Itoa(secs)
+	return s.retryAfter("/v1/stream")
 }
 
 // serveStream runs one admitted streaming session: the chunked ingest loop,
