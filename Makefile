@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures table1-determinism serve loadtest smoke-service stream-smoke stream-perf resume-smoke fuzz-smoke clean
+.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures table1-determinism serve loadtest smoke-service stream-smoke stream-perf resume-smoke fleet fleet-smoke fuzz-smoke clean
 
 check: fmt vet build test
 
@@ -114,6 +114,19 @@ stream-perf:
 # "Interrupting and resuming a campaign").
 resume-smoke:
 	sh scripts/resume-smoke.sh
+
+# Start a local three-worker cordd fleet for distributed campaigns and
+# print the -workers value to paste into cordbench (see EXPERIMENTS.md,
+# "Running a distributed campaign"). Ctrl-C drains and stops the fleet.
+fleet:
+	sh scripts/fleet.sh
+
+# End-to-end distributed-campaign smoke (PROTOCOL.md §6): three workers,
+# one-run shards, kill -9 one worker mid-campaign; the coordinator must
+# exit 0 with artifacts byte-identical to a single-process run and to the
+# committed golden baseline. CI runs this.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
 
 # Short fuzzing pass over every hardened input surface: the binary order-log
 # decoder and both service request parsers. CI runs this; crashes land in

@@ -1,0 +1,427 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cord/internal/experiment"
+	"cord/internal/httpretry"
+	"cord/internal/server"
+)
+
+// This file is the coordinator half of the distributed campaign protocol
+// (PROTOCOL.md §6): -workers fans the detection campaign's run shards out
+// over a cordd fleet, journals every received outcome cell under its run
+// identity, and leaves RunDetection to aggregate the journal exactly as it
+// would a local run. The journal is the merge point — remote cells are
+// byte-identical to local ones (the §6 contract), so the artifacts cannot
+// depend on worker count or failure schedule.
+
+// fleetClientTimeout bounds one shard request end to end: worker queue wait
+// plus serial shard execution. Workers bound sessions themselves
+// (SessionTimeout), so this mainly catches dead TCP peers.
+const fleetClientTimeout = 5 * time.Minute
+
+// fleetRetryPolicy is the production shard-retry ladder: bounded attempts,
+// 429 Retry-After hints honored, doubling fallback for transport errors and
+// 5xx, capped so a misbehaving worker cannot stall the queue for long.
+var fleetRetryPolicy = httpretry.Policy{Attempts: 5, Fallback: 250 * time.Millisecond, Cap: 5 * time.Second}
+
+// parseWorkers splits the -workers list into base URLs.
+func parseWorkers(spec string) ([]string, error) {
+	var urls []string
+	for _, part := range strings.Split(spec, ",") {
+		u := strings.TrimRight(strings.TrimSpace(part), "/")
+		if u == "" {
+			return nil, fmt.Errorf("-workers entry %q is empty", part)
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("-workers entry %q must be an http(s) base URL", part)
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-workers must name at least one worker")
+	}
+	return urls, nil
+}
+
+// shardWork is one dispatchable shard: a contiguous run range of one app.
+type shardWork struct {
+	id     string
+	ranges []experiment.ShardRange
+	runs   int
+}
+
+// buildShards cuts the campaign into per-app chunks of at most shardRuns
+// injection runs. Shard ids are deterministic functions of the content
+// (`<app>.<lo>.<hi>`), so a re-dispatched campaign re-sends byte-identical
+// shards and idempotent workers answer from determinism alone.
+func buildShards(meta experiment.CampaignMeta, shardRuns int) []shardWork {
+	var shards []shardWork
+	for _, app := range meta.Apps {
+		for lo := 0; lo < meta.Injections; lo += shardRuns {
+			hi := lo + shardRuns
+			if hi > meta.Injections {
+				hi = meta.Injections
+			}
+			shards = append(shards, shardWork{
+				id:     fmt.Sprintf("%s.%d.%d", app, lo, hi),
+				ranges: []experiment.ShardRange{{App: app, Lo: lo, Hi: hi}},
+				runs:   hi - lo,
+			})
+		}
+	}
+	return shards
+}
+
+// shardJournaled reports whether every cell the shard would produce is
+// already in the journal — the resume fast path: such shards are never
+// dispatched again.
+func shardJournaled(o experiment.Options, appIdx map[string]int, w shardWork) bool {
+	if o.Checkpoint == nil {
+		return false
+	}
+	for _, rg := range w.ranges {
+		idx := appIdx[rg.App]
+		if !o.Checkpoint.Has(o.DetectCountKey(idx)) {
+			return false
+		}
+		for i := rg.Lo; i < rg.Hi; i++ {
+			if !o.Checkpoint.Has(o.DetectInjectKey(idx, i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// errorPayload mirrors the service's error body (PROTOCOL.md §5).
+type errorPayload struct {
+	Schema int    `json:"schema"`
+	Code   string `json:"code"`
+	Error  string `json:"error"`
+}
+
+// fatalStatus reports whether an HTTP status can never succeed on retry or
+// on another worker: the request itself is wrong (bad configuration,
+// fingerprint skew, shard-id conflict), so re-sending it anywhere is wasted
+// work at best and silent corruption at worst.
+func fatalStatus(status int) bool {
+	switch status {
+	case http.StatusBadRequest, http.StatusConflict, http.StatusUnprocessableEntity,
+		http.StatusRequestEntityTooLarge, http.StatusNotFound, http.StatusMethodNotAllowed:
+		return true
+	}
+	return false
+}
+
+// fatalDispatchError marks failures that must abort the whole campaign
+// rather than fail over to another worker.
+type fatalDispatchError struct{ err error }
+
+func (e fatalDispatchError) Error() string { return e.err.Error() }
+func (e fatalDispatchError) Unwrap() error { return e.err }
+
+// postShard sends one shard to one worker under the retry policy: 429
+// sleeps the server's Retry-After hint, transport errors and 5xx sleep the
+// doubling fallback, and a fatal status aborts the campaign. A worker that
+// exhausts the attempt budget is reported dead via a non-fatal error.
+func postShard(client *http.Client, url string, req server.CampaignShardRequest, policy httpretry.Policy, progress func(string, ...any)) ([]experiment.Cell, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fatalDispatchError{fmt.Errorf("encoding shard %s: %w", req.ShardID, err)}
+	}
+	var lastErr error
+	for attempt := 1; attempt <= policy.Attempts; attempt++ {
+		resp, err := client.Post(url+"/v1/campaign/shard", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			if attempt < policy.Attempts {
+				progress("fleet: %s: shard %s attempt %d/%d failed (%v); backing off %v",
+					url, req.ShardID, attempt, policy.Attempts, err, policy.Backoff(attempt))
+				time.Sleep(policy.Backoff(attempt))
+			}
+			continue
+		}
+		b, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			lastErr = readErr
+			if attempt < policy.Attempts {
+				time.Sleep(policy.Backoff(attempt))
+			}
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var sr server.CampaignShardResponse
+			if err := json.Unmarshal(b, &sr); err != nil {
+				return nil, fatalDispatchError{fmt.Errorf("worker %s: shard %s: unparsable response: %v", url, req.ShardID, err)}
+			}
+			return sr.Cells, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			d := policy.RetryAfter(resp.Header.Get("Retry-After"), attempt)
+			lastErr = fmt.Errorf("worker %s pushed back (429)", url)
+			if attempt < policy.Attempts {
+				progress("fleet: %s: shard %s throttled; honoring Retry-After %v", url, req.ShardID, d)
+				time.Sleep(d)
+			}
+		case fatalStatus(resp.StatusCode):
+			var ep errorPayload
+			_ = json.Unmarshal(b, &ep)
+			return nil, fatalDispatchError{fmt.Errorf("worker %s rejected shard %s: status %d code %q: %s",
+				url, req.ShardID, resp.StatusCode, ep.Code, ep.Error)}
+		default: // 5xx, 503 draining, timeouts: maybe transient, maybe dying
+			lastErr = fmt.Errorf("worker %s: shard %s: status %d", url, req.ShardID, resp.StatusCode)
+			if attempt < policy.Attempts {
+				time.Sleep(policy.Backoff(attempt))
+			}
+		}
+	}
+	return nil, fmt.Errorf("worker %s gave up after %d attempts: %w", url, policy.Attempts, lastErr)
+}
+
+// fleetState is the shared dispatch queue: a stack of pending shards plus
+// the counters that decide termination. Dead workers push their in-flight
+// shard back and leave; the campaign fails only when no live worker remains
+// to take the pending work.
+type fleetState struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []shardWork
+	inflight    int
+	live        int
+	failed      error
+	interrupted bool
+}
+
+// next blocks until there is a shard to take, all work is done, or the
+// dispatch is aborted; ok reports whether a shard was taken.
+func (s *fleetState) next() (shardWork, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) == 0 && s.inflight > 0 && s.failed == nil && !s.interrupted {
+		s.cond.Wait()
+	}
+	if s.failed != nil || s.interrupted || len(s.pending) == 0 {
+		return shardWork{}, false
+	}
+	w := s.pending[len(s.pending)-1]
+	s.pending = s.pending[:len(s.pending)-1]
+	s.inflight++
+	return w, true
+}
+
+func (s *fleetState) done() {
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// workerDied returns the worker's in-flight shard to the queue. The last
+// live worker's death with work outstanding fails the campaign.
+func (s *fleetState) workerDied(w shardWork, err error) {
+	s.mu.Lock()
+	s.pending = append(s.pending, w)
+	s.inflight--
+	s.live--
+	if s.live == 0 {
+		s.failed = fmt.Errorf("all workers lost with %d shards outstanding; last: %w", len(s.pending), err)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *fleetState) fail(err error) {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *fleetState) interrupt() {
+	s.mu.Lock()
+	s.interrupted = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fleetDispatch executes the detection campaign's runs on a cordd fleet and
+// journals every outcome cell into opts.Checkpoint. On return with nil
+// error, every run identity of the campaign is journaled, so a subsequent
+// RunDetection aggregates entirely from the journal without simulating
+// anything locally.
+//
+// Worker loss is survived by re-sharding: a worker that exhausts its retry
+// budget is dropped and its shard returns to the queue for the survivors.
+// Closing opts.Interrupt drains in-flight shards (journaling them) and
+// returns experiment.ErrInterrupted; the journal then resumes the campaign
+// exactly like a local -resume.
+func fleetDispatch(opts experiment.Options, workerURLs []string, shardRuns int, client *http.Client, policy httpretry.Policy) error {
+	if opts.Checkpoint == nil {
+		return errors.New("fleet dispatch needs a checkpoint journal as its merge point")
+	}
+	meta := opts.Meta()
+	fp := opts.Fingerprint()
+	campaign := "bench-" + fp
+	progress := func(format string, args ...any) {
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, format+"\n", args...)
+		}
+	}
+
+	// Probe every worker's plan endpoint: agreement on the fingerprint is
+	// the precondition for merging anything a worker says. Unreachable
+	// workers are dropped with a warning; a disagreeing worker is version
+	// or configuration skew and aborts the dispatch — its cells would merge
+	// silently wrong.
+	planBody, err := json.Marshal(server.CampaignPlanRequest{Campaign: campaign, Options: meta})
+	if err != nil {
+		return fmt.Errorf("fleet: encoding plan request: %w", err)
+	}
+	var live []string
+	for _, url := range workerURLs {
+		resp, err := client.Post(url+"/v1/campaign/plan", "application/json", bytes.NewReader(planBody))
+		if err != nil {
+			progress("fleet: %s unreachable (%v); dispatching without it", url, err)
+			continue
+		}
+		b, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil || resp.StatusCode != http.StatusOK {
+			var ep errorPayload
+			_ = json.Unmarshal(b, &ep)
+			if fatalStatus(resp.StatusCode) {
+				return fmt.Errorf("fleet: %s rejected the campaign plan: status %d code %q: %s",
+					url, resp.StatusCode, ep.Code, ep.Error)
+			}
+			progress("fleet: %s plan probe failed (status %d); dispatching without it", url, resp.StatusCode)
+			continue
+		}
+		var plan server.CampaignPlanResponse
+		if err := json.Unmarshal(b, &plan); err != nil {
+			return fmt.Errorf("fleet: %s: unparsable plan response: %v", url, err)
+		}
+		if plan.Fingerprint != fp {
+			return fmt.Errorf("fleet: %s fingerprints the campaign %s, this coordinator %s: worker and coordinator builds or configurations disagree — refusing to merge its results",
+				url, plan.Fingerprint, fp)
+		}
+		live = append(live, url)
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("fleet: none of the %d workers is usable", len(workerURLs))
+	}
+
+	// Cut the campaign into shards, skipping those fully journaled (resume).
+	appIdx := make(map[string]int, len(meta.Apps))
+	for i, name := range meta.Apps {
+		appIdx[name] = i
+	}
+	all := buildShards(meta, shardRuns)
+	var shards []shardWork
+	skipped := 0
+	for _, w := range all {
+		if shardJournaled(opts, appIdx, w) {
+			skipped++
+			continue
+		}
+		shards = append(shards, w)
+	}
+	progress("fleet: %d workers, %d shards of <=%d runs (%d already journaled)",
+		len(live), len(shards), shardRuns, skipped)
+	if len(shards) == 0 {
+		return nil
+	}
+
+	st := &fleetState{pending: shards, live: len(live)}
+	st.cond = sync.NewCond(&st.mu)
+
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	if opts.Interrupt != nil {
+		go func() {
+			select {
+			case <-opts.Interrupt:
+				st.interrupt()
+			case <-stopWatch:
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for _, url := range live {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for {
+				w, ok := st.next()
+				if !ok {
+					return
+				}
+				req := server.CampaignShardRequest{
+					Campaign:    campaign,
+					ShardID:     w.id,
+					Fingerprint: fp,
+					Options:     meta,
+					Ranges:      w.ranges,
+				}
+				cells, err := postShard(client, url, req, policy, progress)
+				if err != nil {
+					var fatal fatalDispatchError
+					if errors.As(err, &fatal) {
+						st.fail(err)
+						st.done()
+						return
+					}
+					progress("fleet: dropping %s (%v); re-sharding %s to the survivors", url, err, w.id)
+					st.workerDied(w, err)
+					return
+				}
+				// The journal is the merge point: Append compacts the
+				// wire cells back to the exact bytes a local campaign
+				// journals, and duplicate keys (count cells shared by
+				// shards of one app) overwrite with identical bytes.
+				var jerr error
+				for _, c := range cells {
+					if err := opts.Checkpoint.Append(c.Key, c.Data); err != nil {
+						jerr = fmt.Errorf("fleet: journaling %s: %w", c.Key, err)
+						break
+					}
+				}
+				if jerr != nil {
+					// Unlike a local run (where a lost journal entry only
+					// costs resume time), the journal is the only copy of a
+					// remote outcome — a failed append must stop the
+					// campaign before aggregation runs on holes.
+					st.fail(jerr)
+					st.done()
+					return
+				}
+				progress("fleet: %s completed shard %s (%d runs, %d cells)", url, w.id, w.runs, len(cells))
+				st.done()
+			}
+		}(url)
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failed != nil {
+		return st.failed
+	}
+	if st.interrupted {
+		return experiment.ErrInterrupted
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cord/internal/checkpoint"
+	"cord/internal/experiment"
+	"cord/internal/httpretry"
+	"cord/internal/server"
+	"cord/internal/workload"
+)
+
+// testPolicy keeps worker-death failover fast: real deployments use
+// fleetRetryPolicy's second-scale backoff, tests cannot afford it.
+var testPolicy = httpretry.Policy{Attempts: 3, Fallback: time.Millisecond, Cap: 5 * time.Millisecond}
+
+// fleetTestOptions is a campaign small enough to dispatch many times in a
+// test yet wide enough to shard across apps.
+func fleetTestOptions(t *testing.T) experiment.Options {
+	t.Helper()
+	fft, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := workload.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiment.Options{
+		BaseSeed:   7,
+		Injections: 4,
+		Apps:       []workload.App{fft, lu},
+		Procs:      2,
+	}
+}
+
+func openTestJournal(t *testing.T) *checkpoint.Journal {
+	t.Helper()
+	jl, err := checkpoint.Open(filepath.Join(t.TempDir(), journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jl.Close() })
+	return jl
+}
+
+// newWorker starts a real cordd worker over httptest.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{Workers: 2}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestParseWorkers(t *testing.T) {
+	urls, err := parseWorkers(" http://a:8080/ ,https://b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 2 || urls[0] != "http://a:8080" || urls[1] != "https://b" {
+		t.Fatalf("parseWorkers = %v", urls)
+	}
+	for _, bad := range []string{"", "http://a,,http://b", "ftp://a", "localhost:8080"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildShards(t *testing.T) {
+	meta := experiment.CampaignMeta{Apps: []string{"fft", "lu"}, Injections: 5}
+	shards := buildShards(meta, 2)
+	var got []string
+	runs := 0
+	for _, s := range shards {
+		got = append(got, s.id)
+		runs += s.runs
+	}
+	want := []string{"fft.0.2", "fft.2.4", "fft.4.5", "lu.0.2", "lu.2.4", "lu.4.5"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("shard ids = %v, want %v", got, want)
+	}
+	if runs != 10 {
+		t.Fatalf("total shard runs = %d, want 10", runs)
+	}
+}
+
+// TestFleetDispatchEquivalence is the acceptance property end to end: a
+// campaign dispatched over two workers, merged through the journal, and
+// aggregated by the unchanged RunDetection is byte-identical to a direct
+// local run — and simulates nothing locally (every run is a journal hit).
+func TestFleetDispatchEquivalence(t *testing.T) {
+	opts := fleetTestOptions(t)
+	w1, w2 := newWorker(t), newWorker(t)
+
+	jl := openTestJournal(t)
+	dopts := opts
+	dopts.Checkpoint = jl
+	err := fleetDispatch(dopts, []string{w1.URL, w2.URL}, 3, w1.Client(), testPolicy)
+	if err != nil {
+		t.Fatalf("fleetDispatch: %v", err)
+	}
+
+	fleetRes, err := experiment.RunDetection(dopts)
+	if err != nil {
+		t.Fatalf("aggregating fleet journal: %v", err)
+	}
+	wantHits := len(opts.Apps) * (1 + opts.Injections)
+	if jl.Hits() != wantHits {
+		t.Fatalf("aggregation hit the journal %d times, want %d (a miss means a run was silently re-simulated locally)", jl.Hits(), wantHits)
+	}
+
+	directRes, err := experiment.RunDetection(opts)
+	if err != nil {
+		t.Fatalf("direct campaign: %v", err)
+	}
+	fleetJSON, err := json.Marshal(fleetRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, err := json.Marshal(directRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fleetJSON, directJSON) {
+		t.Fatalf("fleet-dispatched results differ from a direct run:\nfleet:  %s\ndirect: %s", fleetJSON, directJSON)
+	}
+}
+
+// TestFleetDispatchWorkerDeathReshards kills one worker mid-campaign (it
+// starts failing every shard after its first) and requires the dispatch to
+// finish on the survivor with a complete journal.
+func TestFleetDispatchWorkerDeathReshards(t *testing.T) {
+	opts := fleetTestOptions(t)
+	healthy := newWorker(t)
+
+	// The dying worker answers its plan probe and first shard from a real
+	// server, then fails everything — indistinguishable on the wire from a
+	// worker that crashed after one shard.
+	var shardsSeen atomic.Int64
+	backend := server.New(server.Config{Workers: 2})
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/campaign/shard") && shardsSeen.Add(1) > 1 {
+			http.Error(w, "worker lost", http.StatusInternalServerError)
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(dying.Close)
+
+	jl := openTestJournal(t)
+	dopts := opts
+	dopts.Checkpoint = jl
+	err := fleetDispatch(dopts, []string{healthy.URL, dying.URL}, 1, healthy.Client(), testPolicy)
+	if err != nil {
+		t.Fatalf("fleetDispatch with a dying worker: %v", err)
+	}
+	if got := shardsSeen.Load(); got < 2 {
+		t.Fatalf("dying worker saw %d shard requests; the test never exercised its death", got)
+	}
+
+	// The journal must still cover the whole campaign.
+	meta := dopts.Meta()
+	for appIdx := range meta.Apps {
+		if !jl.Has(dopts.DetectCountKey(appIdx)) {
+			t.Fatalf("app %d count cell missing after re-shard", appIdx)
+		}
+		for i := 0; i < meta.Injections; i++ {
+			if !jl.Has(dopts.DetectInjectKey(appIdx, i)) {
+				t.Fatalf("app %d run %d missing after re-shard", appIdx, i)
+			}
+		}
+	}
+}
+
+// TestFleetDispatchRetryAfter verifies the 429 path: a worker that throttles
+// each shard's first attempt is retried (honoring Retry-After) rather than
+// declared dead.
+func TestFleetDispatchRetryAfter(t *testing.T) {
+	opts := fleetTestOptions(t)
+	opts.Injections = 2
+	var throttled atomic.Int64
+	firstAttempt := make(map[string]bool)
+	backend := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/campaign/shard") {
+			var req server.CampaignShardRequest
+			body, _ := io.ReadAll(r.Body)
+			_ = json.Unmarshal(body, &req)
+			if !firstAttempt[req.ShardID] {
+				firstAttempt[req.ShardID] = true
+				throttled.Add(1)
+				w.Header().Set("Retry-After", "0")
+				http.Error(w, `{"code":"queue_full"}`, http.StatusTooManyRequests)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	jl := openTestJournal(t)
+	dopts := opts
+	dopts.Checkpoint = jl
+	if err := fleetDispatch(dopts, []string{ts.URL}, 1, ts.Client(), testPolicy); err != nil {
+		t.Fatalf("fleetDispatch through 429s: %v", err)
+	}
+	if throttled.Load() == 0 {
+		t.Fatal("the throttling path was never exercised")
+	}
+}
+
+// TestFleetDispatchFingerprintSkew: a worker whose plan fingerprint
+// disagrees must abort the dispatch — merging its cells would corrupt the
+// campaign silently.
+func TestFleetDispatchFingerprintSkew(t *testing.T) {
+	opts := fleetTestOptions(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(server.CampaignPlanResponse{
+			Schema:      server.SchemaVersion,
+			Fingerprint: "deadbeefdeadbeef",
+		})
+	}))
+	t.Cleanup(ts.Close)
+
+	dopts := opts
+	dopts.Checkpoint = openTestJournal(t)
+	err := fleetDispatch(dopts, []string{ts.URL}, 2, ts.Client(), testPolicy)
+	if err == nil || !strings.Contains(err.Error(), "refusing to merge") {
+		t.Fatalf("fingerprint skew not fatal: %v", err)
+	}
+}
+
+// TestFleetDispatchBadPlanIsFatal: a worker that 400s the plan (e.g. the
+// configuration is out of its request domain) is a campaign problem, not a
+// worker problem — no point failing over.
+func TestFleetDispatchBadPlanIsFatal(t *testing.T) {
+	opts := fleetTestOptions(t)
+	opts.Injections = server.MaxInjections + 1
+	ts := newWorker(t)
+	dopts := opts
+	dopts.Checkpoint = openTestJournal(t)
+	err := fleetDispatch(dopts, []string{ts.URL}, 2, ts.Client(), testPolicy)
+	if err == nil || !strings.Contains(err.Error(), "rejected the campaign plan") {
+		t.Fatalf("bad plan not fatal: %v", err)
+	}
+}
+
+// TestFleetDispatchAllWorkersUnreachable: with no usable worker the
+// dispatch fails up front instead of hanging.
+func TestFleetDispatchAllWorkersUnreachable(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	client := dead.Client()
+	dead.Close() // nothing is listening anymore
+
+	opts := fleetTestOptions(t)
+	opts.Checkpoint = openTestJournal(t)
+	err := fleetDispatch(opts, []string{dead.URL}, 2, client, testPolicy)
+	if err == nil || !strings.Contains(err.Error(), "none of the 1 workers is usable") {
+		t.Fatalf("unreachable fleet not fatal: %v", err)
+	}
+}
+
+// TestFleetDispatchResumeSkipsJournaledShards: a fully journaled campaign
+// dispatches zero shards (the -resume fast path).
+func TestFleetDispatchResumeSkipsJournaledShards(t *testing.T) {
+	opts := fleetTestOptions(t)
+	jl := openTestJournal(t)
+
+	// Journal the whole campaign locally first.
+	local := opts
+	local.Checkpoint = jl
+	if _, err := experiment.RunDetection(local); err != nil {
+		t.Fatal(err)
+	}
+
+	var shardPosts atomic.Int64
+	backend := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/campaign/shard") {
+			shardPosts.Add(1)
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	if err := fleetDispatch(local, []string{ts.URL}, 2, ts.Client(), testPolicy); err != nil {
+		t.Fatalf("fleetDispatch over a complete journal: %v", err)
+	}
+	if n := shardPosts.Load(); n != 0 {
+		t.Fatalf("complete journal still dispatched %d shards", n)
+	}
+}
+
+// TestFleetDispatchInterrupt: an interrupt closed before dispatch returns
+// ErrInterrupted without sending work.
+func TestFleetDispatchInterrupt(t *testing.T) {
+	opts := fleetTestOptions(t)
+	opts.Checkpoint = openTestJournal(t)
+	interrupt := make(chan struct{})
+	close(interrupt)
+	opts.Interrupt = interrupt
+
+	ts := newWorker(t)
+	err := fleetDispatch(opts, []string{ts.URL}, 2, ts.Client(), testPolicy)
+	if !errors.Is(err, experiment.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}

@@ -20,6 +20,13 @@
 // plus -resume skips every journaled run and produces byte-identical
 // artifacts. See EXPERIMENTS.md ("Interrupting and resuming a campaign").
 //
+// With -workers http://a:8080,http://b:8080 the detection campaign's runs are
+// instead dispatched as shards to a fleet of cordd workers (PROTOCOL.md §6):
+// outcomes stream back into the checkpoint journal and aggregation reads them
+// from there, so the artifacts are byte-identical to a local run regardless of
+// worker count or failure schedule. See EXPERIMENTS.md ("Running a
+// distributed campaign").
+//
 // Usage:
 //
 //	cordbench -all -injections 60
@@ -28,12 +35,14 @@
 //	cordbench -all -injections 8 -diff out/ -diff-rel 0.05
 //	cordbench -all -injections 8 -checkpoint ckpt/ -json out/
 //	cordbench -all -injections 8 -checkpoint ckpt/ -resume -json out/
+//	cordbench -fig12 -workers http://localhost:8080,http://localhost:8081 -json out/
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -131,6 +140,8 @@ func run() int {
 		ckptDir    = flag.String("checkpoint", "", "journal completed runs into this directory; interrupted campaigns can be resumed with -resume")
 		resume     = flag.Bool("resume", false, "with -checkpoint: reuse journaled runs from an earlier interrupted invocation")
 		appsFl     = flag.String("apps", "", "comma-separated application subset (default: all of Table 1)")
+		workersFl  = flag.String("workers", "", "comma-separated cordd base URLs; dispatches the detection campaign to this fleet instead of running it locally (PROTOCOL.md §6)")
+		shardRuns  = flag.Int("shard-runs", 8, "with -workers: maximum injection runs per dispatched shard")
 	)
 	flag.Parse()
 
@@ -154,6 +165,20 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cordbench: -apps: %v\n", err)
 		flag.Usage()
 		return 2
+	}
+	var workerURLs []string
+	if *workersFl != "" {
+		if *shardRuns < 1 {
+			fmt.Fprintf(os.Stderr, "cordbench: -shard-runs must be at least 1, got %d\n", *shardRuns)
+			flag.Usage()
+			return 2
+		}
+		workerURLs, err = parseWorkers(*workersFl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
+			flag.Usage()
+			return 2
+		}
 	}
 
 	if *all {
@@ -284,6 +309,31 @@ func run() int {
 	}
 
 	needDetection := *fig10 || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17
+	if needDetection && len(workerURLs) > 0 {
+		// The journal is the fleet's merge point, so dispatch needs one even
+		// without -checkpoint; an ephemeral journal gives the same
+		// byte-identical aggregation, just without crash-safe resume.
+		if opts.Checkpoint == nil {
+			tmp, err := os.MkdirTemp("", "cordbench-fleet-")
+			if err != nil {
+				return errf(err)
+			}
+			defer os.RemoveAll(tmp)
+			jl, err := checkpoint.Open(filepath.Join(tmp, journalName))
+			if err != nil {
+				return errf(fmt.Errorf("opening ephemeral fleet journal: %w", err))
+			}
+			defer jl.Close()
+			opts.Checkpoint = jl
+			if !*quiet {
+				fmt.Fprintln(os.Stderr, "cordbench: no -checkpoint; fleet outcomes merge through an ephemeral journal (pass -checkpoint <dir> for crash-safe resume)")
+			}
+		}
+		client := &http.Client{Timeout: fleetClientTimeout}
+		if err := fleetDispatch(opts, workerURLs, *shardRuns, client, fleetRetryPolicy); err != nil {
+			return errf(err)
+		}
+	}
 	if needDetection {
 		res, err := experiment.RunDetection(opts)
 		if err != nil {

@@ -9,8 +9,10 @@
 // Endpoints: POST /v1/detect, POST /v1/replay, POST /v1/stream (streaming
 // order-record ingestion with optional online race detection and duty
 // cycling, PROTOCOL.md §4; -stream-duty sets the default duty percentage,
-// -stream-workers the per-session ingest fan-out), GET /healthz,
-// GET /metrics.
+// -stream-workers the per-session ingest fan-out), POST /v1/campaign/plan
+// and POST /v1/campaign/shard (distributed-campaign worker protocol,
+// PROTOCOL.md §6 — a cordbench coordinator with -workers fans run shards
+// across a fleet of these processes), GET /healthz, GET /metrics.
 // SIGINT/SIGTERM drain in-flight sessions — streams included — before the
 // process exits.
 package main

@@ -54,6 +54,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"cord/internal/httpretry"
 	"cord/internal/perf"
 	"cord/internal/replay"
 	"cord/internal/workload"
@@ -114,52 +115,6 @@ func validateFlags(n, scale, threads, d, retries int, retryCap time.Duration) er
 		return fmt.Errorf("-retry-cap must be positive")
 	}
 	return nil
-}
-
-// retryPolicy is how a stage treats 429 pushback: up to attempts tries per
-// session, sleeping the server's Retry-After hint (or a doubling fallback
-// starting at fallback) between them, each sleep capped at cap.
-type retryPolicy struct {
-	attempts int
-	fallback time.Duration
-	cap      time.Duration
-}
-
-// retryAfter converts one 429's Retry-After header into a sleep. Both wire
-// forms are honored — delta-seconds and HTTP-date — and a missing or
-// malformed header falls back to doubling backoff by attempt (1-based).
-// Every result is clamped to [0, cap].
-//
-// A parsed HTTP-date that is already in the past — which happens routinely
-// when the server's clock runs behind the client's — means "retry now" and
-// clamps to zero. Only an absent or unparseable header earns the doubling
-// fallback; conflating the two made a skewed but well-behaved server look
-// like one asking for ever-longer backoff.
-func (p retryPolicy) retryAfter(header string, attempt int) time.Duration {
-	var d time.Duration
-	parsed := false
-	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
-		d = time.Duration(secs) * time.Second
-		parsed = true
-	} else if at, err := http.ParseTime(header); err == nil {
-		if d = time.Until(at); d < 0 {
-			d = 0
-		}
-		parsed = true
-	}
-	if !parsed {
-		d = p.fallback
-		for i := 1; i < attempt; i++ {
-			d *= 2
-			if d >= p.cap {
-				break
-			}
-		}
-	}
-	if d > p.cap {
-		d = p.cap
-	}
-	return d
 }
 
 type stageResult struct {
@@ -227,7 +182,7 @@ func run() int {
 		return 1
 	}
 
-	policy := retryPolicy{attempts: *retries, fallback: 250 * time.Millisecond, cap: *retryCap}
+	policy := httpretry.Policy{Attempts: *retries, Fallback: 250 * time.Millisecond, Cap: *retryCap}
 	if *stream {
 		p := streamParams{
 			app: *app, seed: *seed, scale: *scale, threads: *threads, frames: *frames, chunk: *chunk,
@@ -276,7 +231,7 @@ func run() int {
 // uses seed base+i so every session is distinct work. 429 responses retry
 // under the stage's policy; a session that stays throttled through every
 // attempt counts as one hard error.
-func runStage(client *http.Client, addr string, c, n int, policy retryPolicy, base detectRequest) stageResult {
+func runStage(client *http.Client, addr string, c, n int, policy httpretry.Policy, base detectRequest) stageResult {
 	res := stageResult{clients: c}
 	var next atomic.Int64
 	var mu sync.Mutex
@@ -307,10 +262,10 @@ func runStage(client *http.Client, addr string, c, n int, policy retryPolicy, ba
 					case resp.StatusCode == http.StatusOK:
 						res.ok++
 						res.latencies = append(res.latencies, lat)
-					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.attempts:
+					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.Attempts:
 						res.retries++
 						throttled = true
-						sleep = policy.retryAfter(resp.Header.Get("Retry-After"), attempt)
+						sleep = policy.RetryAfter(resp.Header.Get("Retry-After"), attempt)
 					default: // non-429 failure, or throttled out of attempts
 						res.errors++
 					}
@@ -409,7 +364,7 @@ type streamStageResult struct {
 // /v1/stream sessions from c concurrent clients and reports records/sec —
 // ingested frames per second of stage wall-clock. The best stage is merged
 // into the BENCH_perf.json artifact when -perf-out names one.
-func runStreamSweep(client *http.Client, addr string, stages []int, n int, policy retryPolicy, p streamParams, perfOut string) int {
+func runStreamSweep(client *http.Client, addr string, stages []int, n int, policy httpretry.Policy, p streamParams, perfOut string) int {
 	body := syntheticStream(p.frames, p.threads)
 	fmt.Printf("streaming %d sessions/stage, %d frames (%d bytes) each, chunk %d\n",
 		n, p.frames, len(body), p.chunk)
@@ -470,7 +425,7 @@ func runStreamSweep(client *http.Client, addr string, stages []int, n int, polic
 // runStreamStage uploads n copies of one stream body from c concurrent
 // clients against the given /v1/stream query. 429 pushback (all stream slots
 // busy) retries under the same policy the detect sweep uses.
-func runStreamStage(client *http.Client, addr, query string, c, n int, policy retryPolicy, p streamParams, body []byte) streamStageResult {
+func runStreamStage(client *http.Client, addr, query string, c, n int, policy httpretry.Policy, p streamParams, body []byte) streamStageResult {
 	res := streamStageResult{streams: c}
 	var next atomic.Int64
 	var mu sync.Mutex
@@ -498,10 +453,10 @@ func runStreamStage(client *http.Client, addr, query string, c, n int, policy re
 					case resp.StatusCode == http.StatusOK:
 						res.ok++
 						res.latencies = append(res.latencies, lat)
-					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.attempts:
+					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.Attempts:
 						res.retries++
 						throttled = true
-						sleep = policy.retryAfter(resp.Header.Get("Retry-After"), attempt)
+						sleep = policy.RetryAfter(resp.Header.Get("Retry-After"), attempt)
 					default:
 						res.errors++
 					}
@@ -550,7 +505,7 @@ func recordedStream(appName string, seed uint64, scale, threads int) ([]byte, in
 // recorded fixture, streamed n times per stage per duty with the online
 // replay following along. Every duty's best stage lands in the report, so
 // the artifact shows how throughput scales with detection coverage.
-func runOnlineSweep(client *http.Client, addr string, stages []int, n int, policy retryPolicy, p streamParams, duties []int, perfOut string) int {
+func runOnlineSweep(client *http.Client, addr string, stages []int, n int, policy httpretry.Policy, p streamParams, duties []int, perfOut string) int {
 	body, frames, err := recordedStream(p.app, p.seed, p.scale, p.threads)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cordload: %v\n", err)

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"cord/internal/httpretry"
 	"cord/internal/perf"
 	"cord/internal/record"
 )
@@ -45,40 +46,6 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
-// TestRetryAfter: both wire forms of Retry-After are honored, malformed and
-// missing headers fall back to doubling backoff, and everything clamps to
-// [0, cap]. The past-HTTP-date row is the regression under test: a server
-// whose clock runs behind the client's sends dates that are already in the
-// past, which must mean "retry now" (zero sleep) — not drop into the
-// doubling fallback as if the header were garbage.
-func TestRetryAfter(t *testing.T) {
-	p := retryPolicy{attempts: 5, fallback: 100 * time.Millisecond, cap: 2 * time.Second}
-	future := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
-	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
-	cases := []struct {
-		name    string
-		header  string
-		attempt int
-		want    time.Duration
-	}{
-		{"delta-seconds", "1", 1, time.Second},
-		{"delta-seconds zero", "0", 1, 0},
-		{"delta-seconds over cap", "30", 1, p.cap},
-		{"future HTTP-date clamps to cap", future, 1, p.cap},
-		{"past HTTP-date clamps to zero", past, 1, 0},
-		{"past HTTP-date late attempt still zero", past, 4, 0},
-		{"missing header attempt 1", "", 1, p.fallback},
-		{"malformed header attempt 2", "garbage", 2, 2 * p.fallback},
-		{"negative delta-seconds is malformed", "-5", 1, p.fallback},
-		{"missing header attempt 10 caps", "", 10, p.cap},
-	}
-	for _, tc := range cases {
-		if d := p.retryAfter(tc.header, tc.attempt); d != tc.want {
-			t.Errorf("%s: retryAfter(%q, %d) = %v, want %v", tc.name, tc.header, tc.attempt, d, tc.want)
-		}
-	}
-}
-
 // TestRunStageRetriesThrottling: a server that 429s every session once must
 // still end the stage with every session OK, the pushback visible in the
 // retry counter, and nothing counted as a hard error — unless the throttling
@@ -101,7 +68,7 @@ func TestRunStageRetriesThrottling(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	policy := retryPolicy{attempts: 3, fallback: time.Millisecond, cap: 10 * time.Millisecond}
+	policy := httpretry.Policy{Attempts: 3, Fallback: time.Millisecond, Cap: 10 * time.Millisecond}
 	res := runStage(srv.Client(), srv.URL, 2, 6, policy, detectRequest{App: "fft", Seed: 1})
 	if res.ok != 6 || res.errors != 0 {
 		t.Fatalf("ok=%d errors=%d, want 6 ok and 0 errors", res.ok, res.errors)
@@ -114,7 +81,7 @@ func TestRunStageRetriesThrottling(t *testing.T) {
 	mu.Lock()
 	seen = map[string]int{}
 	mu.Unlock()
-	res = runStage(srv.Client(), srv.URL, 1, 3, retryPolicy{attempts: 1, fallback: time.Millisecond, cap: time.Millisecond}, detectRequest{App: "fft", Seed: 1})
+	res = runStage(srv.Client(), srv.URL, 1, 3, httpretry.Policy{Attempts: 1, Fallback: time.Millisecond, Cap: time.Millisecond}, detectRequest{App: "fft", Seed: 1})
 	if res.ok != 0 || res.errors != 3 || res.retries != 0 {
 		t.Fatalf("ok=%d errors=%d retries=%d, want 0/3/0 with no retry budget", res.ok, res.errors, res.retries)
 	}
@@ -205,7 +172,7 @@ func TestRunStreamStage(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	policy := retryPolicy{attempts: 3, fallback: time.Millisecond, cap: 10 * time.Millisecond}
+	policy := httpretry.Policy{Attempts: 3, Fallback: time.Millisecond, Cap: 10 * time.Millisecond}
 	p := streamParams{app: "fft", seed: 1, threads: 4, frames: 1000, chunk: 256}
 	query := "/v1/stream?app=fft&seed=1&threads=4&verify=0"
 	res := runStreamStage(srv.Client(), srv.URL, query, 2, 4, policy, p, body)

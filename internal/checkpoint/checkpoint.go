@@ -239,6 +239,18 @@ func (j *Journal) Lookup(key string, out any) (bool, error) {
 	return true, nil
 }
 
+// Has reports whether key is journaled, without decoding the record and
+// without counting a resume hit. It exists for planning passes — the fleet
+// dispatcher probes every run identity to decide which shards still need
+// dispatch — where Lookup's hit counter would inflate the "runs skipped"
+// number the campaign reports.
+func (j *Journal) Has(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.entries[key]
+	return ok
+}
+
 // Len is the number of distinct keys currently journaled.
 func (j *Journal) Len() int {
 	j.mu.Lock()

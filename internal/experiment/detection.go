@@ -56,6 +56,12 @@ type Options struct {
 	// entry point returns ErrInterrupted. cordbench wires SIGINT/SIGTERM
 	// here.
 	Interrupt <-chan struct{}
+	// Cancel, when non-nil and closed, aborts in-flight simulations too:
+	// every run's engine unwinds (sim.ErrCanceled) instead of finishing.
+	// Use Interrupt for graceful drains that must journal their in-flight
+	// work; use Cancel when the caller is gone — the cordd campaign
+	// endpoint wires the request context's Done channel here.
+	Cancel <-chan struct{}
 	// Chaos, when non-nil, injects faults into the campaign — transient run
 	// failures, journal-write failures, a mid-campaign process crash — for
 	// robustness testing (see internal/chaos and the CORD_CHAOS variable).
@@ -166,26 +172,11 @@ func RunDetection(o Options) (*DetectionResults, error) {
 	counts := make([]countOutcome, len(o.Apps))
 	if err := o.forEach(len(o.Apps), func(appIdx int) error {
 		return o.journaledRun("detect-count", appIdx, 0, &counts[appIdx], func() error {
-			app := o.Apps[appIdx]
-			count, err := o.runSim("counting", app, o.Threads, sim.Config{Seed: o.BaseSeed})
+			out, err := o.countRun(appIdx)
 			if err != nil {
 				return err
 			}
-			if count.SyncInstances == 0 {
-				return fmt.Errorf("experiment: %s has no injectable synchronization", app.Name)
-			}
-			rng := rand.New(rand.NewPCG(o.BaseSeed^uint64(appIdx*7919+1), 0xD1CE))
-			// Stay below the observed count so the target exists in runs whose
-			// instance count varies slightly with the seed.
-			maxTarget := count.SyncInstances * 9 / 10
-			if maxTarget == 0 {
-				maxTarget = 1
-			}
-			ts := make([]uint64, o.Injections)
-			for i := range ts {
-				ts[i] = 1 + rng.Uint64N(maxTarget)
-			}
-			counts[appIdx] = countOutcome{Targets: ts}
+			counts[appIdx] = out
 			return nil
 		})
 	}); err != nil {
@@ -247,6 +238,35 @@ func RunDetection(o Options) (*DetectionResults, error) {
 		}
 	}
 	return res, nil
+}
+
+// countRun is the detection campaign's phase-1 sizing run for one
+// application: simulate it un-injected to count dynamic sync instances, then
+// draw the campaign's injection targets from a per-app PCG stream consumed
+// in injection order. The draw depends only on (BaseSeed, appIdx,
+// Injections), which is what lets a shard worker recompute an app's targets
+// independently and land on exactly the bytes the coordinator expects.
+func (o Options) countRun(appIdx int) (countOutcome, error) {
+	app := o.Apps[appIdx]
+	count, err := o.runSim("counting", app, o.Threads, sim.Config{Seed: o.BaseSeed})
+	if err != nil {
+		return countOutcome{}, err
+	}
+	if count.SyncInstances == 0 {
+		return countOutcome{}, fmt.Errorf("experiment: %s has no injectable synchronization", app.Name)
+	}
+	rng := rand.New(rand.NewPCG(o.BaseSeed^uint64(appIdx*7919+1), 0xD1CE))
+	// Stay below the observed count so the target exists in runs whose
+	// instance count varies slightly with the seed.
+	maxTarget := count.SyncInstances * 9 / 10
+	if maxTarget == 0 {
+		maxTarget = 1
+	}
+	ts := make([]uint64, o.Injections)
+	for i := range ts {
+		ts[i] = 1 + rng.Uint64N(maxTarget)
+	}
+	return countOutcome{Targets: ts}, nil
 }
 
 // runInjection performs one fault-injection simulation: remove the target-th

@@ -133,6 +133,9 @@ func (o Options) runSim(stage string, app workload.App, threads int, cfg sim.Con
 	if cfg.Jitter == 0 {
 		cfg.Jitter = campaignJitter
 	}
+	if cfg.Cancel == nil {
+		cfg.Cancel = o.Cancel
+	}
 	res, err := sim.New(cfg, app.Build(o.Scale, threads)).Run()
 	if err != nil {
 		return res, fmt.Errorf("experiment: %s %s: %w", stage, app.Name, err)

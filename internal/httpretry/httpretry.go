@@ -1,0 +1,78 @@
+// Package httpretry is the one place the repository's HTTP clients decide
+// how long to back off after server pushback. Two clients speak to cordd —
+// cordload's load sweeps and cordbench's fleet dispatcher — and both must
+// honor the service's 429/`Retry-After` contract (PROTOCOL.md §4.2)
+// identically: delta-seconds and HTTP-date wire forms, a past HTTP-date
+// meaning "retry now" rather than "back off", and a doubling fallback only
+// when the header is absent or unparseable. The logic used to be duplicated
+// per binary; a past-date clamp bug fixed in one copy and not the other is
+// exactly the kind of drift this package exists to prevent.
+package httpretry
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Policy bounds how a client retries one throttled or transiently failing
+// request: up to Attempts tries (the first counts), sleeping the server's
+// Retry-After hint — or a doubling fallback starting at Fallback when there
+// is no usable hint — between them, every sleep clamped to [0, Cap].
+type Policy struct {
+	// Attempts is the total try budget per request, first attempt included:
+	// Attempts 3 means one try plus at most two retries.
+	Attempts int
+	// Fallback seeds the doubling backoff used when a response carries no
+	// parseable Retry-After header.
+	Fallback time.Duration
+	// Cap bounds any single sleep, whatever its source.
+	Cap time.Duration
+}
+
+// RetryAfter converts one response's Retry-After header into the sleep
+// before the next try. Both wire forms are honored — delta-seconds and
+// HTTP-date — and a missing or malformed header falls back to doubling
+// backoff by attempt (1-based). Every result is clamped to [0, p.Cap].
+//
+// A parsed HTTP-date that is already in the past — which happens routinely
+// when the server's clock runs behind the client's — means "retry now" and
+// clamps to zero. Only an absent or unparseable header earns the doubling
+// fallback; conflating the two made a skewed but well-behaved server look
+// like one asking for ever-longer backoff.
+func (p Policy) RetryAfter(header string, attempt int) time.Duration {
+	var d time.Duration
+	parsed := false
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+		parsed = true
+	} else if at, err := http.ParseTime(header); err == nil {
+		if d = time.Until(at); d < 0 {
+			d = 0
+		}
+		parsed = true
+	}
+	if !parsed {
+		d = p.Fallback
+		for i := 1; i < attempt; i++ {
+			d *= 2
+			if d >= p.Cap {
+				break
+			}
+		}
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// Backoff is the fallback schedule alone — the sleep before try attempt+1
+// when there is no server hint at all (transport errors, responses without
+// a Retry-After header): Fallback doubled per completed attempt, clamped to
+// [0, Cap]. It equals RetryAfter with an empty header and exists so call
+// sites retrying non-429 failures don't fabricate a fake header to say so.
+func (p Policy) Backoff(attempt int) time.Duration {
+	return p.RetryAfter("", attempt)
+}

@@ -1,0 +1,67 @@
+package httpretry
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfter: both wire forms of Retry-After are honored, malformed and
+// missing headers fall back to doubling backoff, and everything clamps to
+// [0, cap]. The past-HTTP-date row is the regression under test: a server
+// whose clock runs behind the client's sends dates that are already in the
+// past, which must mean "retry now" (zero sleep) — not drop into the
+// doubling fallback as if the header were garbage.
+func TestRetryAfter(t *testing.T) {
+	p := Policy{Attempts: 5, Fallback: 100 * time.Millisecond, Cap: 2 * time.Second}
+	future := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	cases := []struct {
+		name    string
+		header  string
+		attempt int
+		want    time.Duration
+	}{
+		{"delta-seconds", "1", 1, time.Second},
+		{"delta-seconds with spaces", " 1 ", 1, time.Second},
+		{"delta-seconds zero", "0", 1, 0},
+		{"delta-seconds over cap", "30", 1, p.Cap},
+		{"future HTTP-date clamps to cap", future, 1, p.Cap},
+		{"past HTTP-date clamps to zero", past, 1, 0},
+		{"past HTTP-date late attempt still zero", past, 4, 0},
+		{"missing header attempt 1", "", 1, p.Fallback},
+		{"malformed header attempt 2", "garbage", 2, 2 * p.Fallback},
+		{"negative delta-seconds is malformed", "-5", 1, p.Fallback},
+		{"missing header attempt 10 caps", "", 10, p.Cap},
+	}
+	for _, tc := range cases {
+		if d := p.RetryAfter(tc.header, tc.attempt); d != tc.want {
+			t.Errorf("%s: RetryAfter(%q, %d) = %v, want %v", tc.name, tc.header, tc.attempt, d, tc.want)
+		}
+	}
+}
+
+// TestBackoff: the hint-free schedule doubles per attempt from Fallback and
+// never exceeds Cap — and agrees exactly with RetryAfter's no-header branch,
+// since a transport error and a header-less 500 deserve the same patience.
+func TestBackoff(t *testing.T) {
+	p := Policy{Attempts: 5, Fallback: 50 * time.Millisecond, Cap: time.Second}
+	want := []time.Duration{
+		50 * time.Millisecond,  // attempt 1
+		100 * time.Millisecond, // attempt 2
+		200 * time.Millisecond, // attempt 3
+		400 * time.Millisecond, // attempt 4
+		800 * time.Millisecond, // attempt 5
+		time.Second,            // attempt 6 doubles past Cap and clamps
+		time.Second,            // and stays clamped from then on
+	}
+	for i, w := range want {
+		attempt := i + 1
+		if d := p.Backoff(attempt); d != w {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, d, w)
+		}
+		if d, r := p.Backoff(attempt), p.RetryAfter("", attempt); d != r {
+			t.Errorf("Backoff(%d) = %v but RetryAfter(\"\", %d) = %v; they must agree", attempt, d, attempt, r)
+		}
+	}
+}

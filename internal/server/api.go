@@ -24,6 +24,15 @@
 //	                   with an end-of-stream StreamResponse summary (and,
 //	                   unless verify=0, the one-shot DetectResponse of the
 //	                   authoritative re-execution). See PROTOCOL.md §4.
+//	POST /v1/campaign/plan
+//	                 — validates a distributed-campaign configuration and
+//	                   returns the worker's config fingerprint and run
+//	                   geometry, without running anything. See PROTOCOL.md §6.
+//	POST /v1/campaign/shard
+//	                 — executes one campaign run-shard on the session pool
+//	                   and returns its outcome cells keyed by run identity;
+//	                   re-sent shards answer byte-identically. See
+//	                   PROTOCOL.md §6.
 //	GET  /healthz    — liveness/readiness (503 while draining).
 //	GET  /metrics    — cumulative Metrics counters and latency histograms.
 //

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"regexp"
+
+	"cord/internal/experiment"
+	"cord/internal/sim"
+)
+
+// This file is the worker half of the distributed campaign protocol
+// (PROTOCOL.md §6): POST /v1/campaign/plan validates a campaign
+// configuration and returns its fingerprint; POST /v1/campaign/shard
+// executes one run-shard on the session pool and returns the outcome cells
+// keyed by run identity. Everything response-shaped here is normatively
+// specified in §6 and pinned by the doc-conformance test — change the spec
+// first.
+
+// MaxInjections bounds a campaign's per-application injection-run count on
+// the wire. The domain, not a shard, allocates per-app target arrays, so an
+// absurd count must be rejected before it sizes an allocation.
+const MaxInjections = 1 << 20
+
+// identRe is the shared syntax of campaign ids and shard ids: 1–64
+// characters of [A-Za-z0-9._-]. Ids are labels for logs, journals, and the
+// shard registry — never filesystem paths or shell words — but keeping them
+// printable and short makes every downstream surface safe to embed them.
+var identRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// CampaignPlanRequest is the body of POST /v1/campaign/plan.
+type CampaignPlanRequest struct {
+	// Campaign is the client-chosen campaign id (1–64 chars of
+	// [A-Za-z0-9._-]).
+	Campaign string `json:"campaign"`
+	// Options is the result-determining campaign configuration. Zero or
+	// omitted fields take the same defaults the CLIs apply.
+	Options experiment.CampaignMeta `json:"options"`
+}
+
+// CampaignPlanResponse answers a plan probe: the worker's own fingerprint
+// of the normalized configuration plus the campaign's run geometry. A
+// coordinator probes every worker before dispatching and aborts on any
+// fingerprint disagreement — that is version or configuration skew, and
+// shards executed under it would merge silently-wrong cells.
+type CampaignPlanResponse struct {
+	Schema      int      `json:"schema"`
+	Campaign    string   `json:"campaign"`
+	Fingerprint string   `json:"fingerprint"`
+	Apps        []string `json:"apps"`
+	RunsPerApp  int      `json:"runs_per_app"`
+	TotalRuns   int      `json:"total_runs"`
+}
+
+// CampaignShardRequest is the body of POST /v1/campaign/shard: one unit of
+// distributed campaign work.
+type CampaignShardRequest struct {
+	Campaign string `json:"campaign"`
+	// ShardID identifies this shard within the campaign (1–64 chars of
+	// [A-Za-z0-9._-]). Re-sending a shard id with identical content is
+	// idempotent; re-using it with different content is a 409 shard_conflict.
+	ShardID string `json:"shard_id"`
+	// Fingerprint is the coordinator's fingerprint of Options. The worker
+	// recomputes it and rejects any disagreement with 422.
+	Fingerprint string                  `json:"fingerprint"`
+	Options     experiment.CampaignMeta `json:"options"`
+	// Ranges are the half-open [lo, hi) injection-run ranges to execute.
+	Ranges []experiment.ShardRange `json:"ranges"`
+}
+
+// CampaignShardResponse carries the shard's outcome cells in canonical
+// order (apps by campaign index; each app's count cell, then its injection
+// cells by run index). Cells are exactly the bytes an equivalent local
+// campaign journals, so a re-sent shard returns a byte-identical response.
+type CampaignShardResponse struct {
+	Schema      int               `json:"schema"`
+	Campaign    string            `json:"campaign"`
+	ShardID     string            `json:"shard_id"`
+	Fingerprint string            `json:"fingerprint"`
+	Runs        int               `json:"runs"`
+	Cells       []experiment.Cell `json:"cells"`
+}
+
+// campaignOptions validates the wire metadata and reconstructs campaign
+// Options within the service's request-domain bounds. Every failure wraps
+// ErrBadRequest.
+func campaignOptions(m experiment.CampaignMeta) (experiment.Options, error) {
+	o, err := experiment.OptionsFromMeta(m)
+	if err != nil {
+		return experiment.Options{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	norm := o.Meta()
+	if norm.Scale > MaxScale {
+		return experiment.Options{}, fmt.Errorf("%w: scale must be in [1, %d], got %d", ErrBadRequest, MaxScale, norm.Scale)
+	}
+	if norm.Threads > MaxThreads {
+		return experiment.Options{}, fmt.Errorf("%w: threads must be in [1, %d], got %d", ErrBadRequest, MaxThreads, norm.Threads)
+	}
+	if norm.Injections > MaxInjections {
+		return experiment.Options{}, fmt.Errorf("%w: injections must be in [1, %d], got %d", ErrBadRequest, MaxInjections, norm.Injections)
+	}
+	return o, nil
+}
+
+func (s *Server) handleCampaignPlan(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req CampaignPlanRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, statusForBodyError(err), err)
+		return
+	}
+	if !identRe.MatchString(req.Campaign) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: campaign must match %s", ErrBadRequest, identRe))
+		return
+	}
+	opts, err := campaignOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Planning touches no simulation — answer directly, bypassing the pool,
+	// like /healthz: a coordinator must be able to probe a busy worker.
+	meta := opts.Meta()
+	writeJSON(w, http.StatusOK, &CampaignPlanResponse{
+		Schema:      SchemaVersion,
+		Campaign:    req.Campaign,
+		Fingerprint: opts.Fingerprint(),
+		Apps:        meta.Apps,
+		RunsPerApp:  meta.Injections,
+		TotalRuns:   meta.Injections * len(meta.Apps),
+	})
+}
+
+func (s *Server) handleCampaignShard(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req CampaignShardRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, statusForBodyError(err), err)
+		return
+	}
+	if !identRe.MatchString(req.Campaign) || !identRe.MatchString(req.ShardID) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: campaign and shard_id must match %s", ErrBadRequest, identRe))
+		return
+	}
+	opts, err := campaignOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if fp := opts.Fingerprint(); req.Fingerprint != fp {
+		writeErrorCode(w, http.StatusUnprocessableEntity, codeFingerprintMismatch,
+			fmt.Errorf("request fingerprint %q does not match this worker's %q: coordinator and worker disagree on the campaign configuration",
+				req.Fingerprint, fp))
+		return
+	}
+	if prev, ok := s.registerShard(req); !ok {
+		writeErrorCode(w, http.StatusConflict, codeShardConflict,
+			fmt.Errorf("shard %s/%s was already submitted with different content (hash %016x); shard ids are immutable once used",
+				req.Campaign, req.ShardID, prev))
+		return
+	}
+
+	spec := experiment.ShardSpec{Ranges: req.Ranges}
+	s.dispatch(w, r, func(ctx context.Context) (any, error) {
+		// Serial within the shard: one session occupies one pool worker, so
+		// fleet-level parallelism (many in-flight shards) composes with the
+		// pool instead of oversubscribing it.
+		runOpts := opts
+		runOpts.Procs = 1
+		runOpts.Cancel = ctx.Done()
+		cells, err := experiment.ExecuteDetectShard(runOpts, spec)
+		switch {
+		case err == nil:
+		case errors.Is(err, sim.ErrCanceled) && ctx.Err() != nil:
+			return nil, ctx.Err()
+		case errors.Is(err, experiment.ErrBadShard):
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		default:
+			return nil, err
+		}
+		return &CampaignShardResponse{
+			Schema:      SchemaVersion,
+			Campaign:    req.Campaign,
+			ShardID:     req.ShardID,
+			Fingerprint: req.Fingerprint,
+			Runs:        spec.Runs(),
+			Cells:       cells,
+		}, nil
+	})
+}
+
+// maxShardRegistry bounds the conflict-detection registry. Beyond it the
+// oldest entries are forgotten — conflict detection is best-effort over
+// recent shards, never a correctness mechanism: cells are deterministic, so
+// even an undetected id re-use returns correct bytes for its content.
+const maxShardRegistry = 4096
+
+// shardKey scopes shard ids per campaign.
+type shardKey struct{ campaign, shard string }
+
+// registerShard records the shard's content hash under its identity. It
+// reports false — with the previously registered hash — when the id was
+// already used with different content.
+func (s *Server) registerShard(req CampaignShardRequest) (prev uint64, ok bool) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|", req.Fingerprint, len(req.Ranges))
+	for _, rg := range req.Ranges {
+		fmt.Fprintf(h, "%s:%d:%d|", rg.App, rg.Lo, rg.Hi)
+	}
+	sum := h.Sum64()
+
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if s.shards == nil {
+		s.shards = make(map[shardKey]uint64)
+	}
+	key := shardKey{req.Campaign, req.ShardID}
+	if prev, seen := s.shards[key]; seen {
+		return prev, prev == sum
+	}
+	if len(s.shards) >= maxShardRegistry {
+		for k := range s.shards { // forget an arbitrary old entry
+			delete(s.shards, k)
+			break
+		}
+	}
+	s.shards[key] = sum
+	return sum, true
+}

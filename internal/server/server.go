@@ -130,6 +130,11 @@ type Server struct {
 
 	stopOnce sync.Once
 
+	// shardMu/shards is the campaign shard-conflict registry: recent shard
+	// identities mapped to their content hashes (see registerShard).
+	shardMu sync.Mutex
+	shards  map[shardKey]uint64
+
 	// runDetect/runReplay execute one session; fields so tests can
 	// substitute controllable work.
 	runDetect func(ctx context.Context, req DetectRequest) (*DetectResponse, error)
@@ -154,6 +159,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	s.mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/campaign/plan", s.handleCampaignPlan)
+	s.mux.HandleFunc("POST /v1/campaign/shard", s.handleCampaignShard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -487,6 +494,10 @@ const (
 	codeDraining       = "draining"        // server is shutting down
 	codeTimeout        = "timeout"         // session exceeded SessionTimeout
 	codeInternal       = "internal"        // server-side failure
+
+	// Campaign shard protocol additions (PROTOCOL.md §6).
+	codeShardConflict       = "shard_conflict"       // shard id re-used with different content
+	codeFingerprintMismatch = "fingerprint_mismatch" // coordinator/worker config fingerprints disagree
 )
 
 // errorCode classifies err (preferred) or falls back on the HTTP status, so

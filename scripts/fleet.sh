@@ -1,0 +1,57 @@
+#!/bin/sh
+# Start a local cordd fleet for distributed-campaign experiments (see
+# EXPERIMENTS.md, "Running a distributed campaign"): N workers on
+# consecutive ports, each with a small pool, all draining cleanly on
+# Ctrl-C. Prints the -workers value to paste into cordbench.
+#
+# Usage: sh scripts/fleet.sh [workers]   (default 3; `make fleet`)
+# Ports start at CORD_FLEET_PORT (default 18180).
+set -eu
+
+N="${1:-3}"
+BASE="${CORD_FLEET_PORT:-18180}"
+DIR="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+	for pid in $PIDS; do
+		kill "$pid" 2>/dev/null || true
+	done
+	for pid in $PIDS; do
+		wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet: building cordd"
+go build -o "$DIR/cordd" ./cmd/cordd
+
+URLS=""
+i=0
+while [ "$i" -lt "$N" ]; do
+	port=$((BASE + i))
+	"$DIR/cordd" -addr "127.0.0.1:$port" -workers 2 -queue 16 \
+		>"$DIR/cordd-$port.log" 2>&1 &
+	PIDS="$PIDS $!"
+	URLS="${URLS:+$URLS,}http://127.0.0.1:$port"
+	i=$((i + 1))
+done
+
+for url in $(echo "$URLS" | tr ',' ' '); do
+	j=0
+	until curl -sf "$url/healthz" >/dev/null 2>&1; do
+		j=$((j + 1))
+		[ "$j" -ge 50 ] || {
+			sleep 0.2
+			continue
+		}
+		echo "fleet: worker $url did not become healthy" >&2
+		exit 1
+	done
+done
+
+echo "fleet: $N workers up. Dispatch a campaign with:"
+echo "  go run ./cmd/cordbench -fig12 -workers $URLS"
+echo "fleet: Ctrl-C to drain and stop."
+wait
