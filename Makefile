@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures table1-determinism serve loadtest smoke-service stream-smoke stream-perf resume-smoke fleet fleet-smoke fuzz-smoke clean
+.PHONY: check fmt vet build test race bench bench-json bench-smoke figures json-figures diff-figures table1-determinism serve loadtest smoke-service stream-smoke stream-perf resume-smoke fleet fleet-smoke fleet-chaos-smoke fuzz-smoke clean
 
 check: fmt vet build test
 
@@ -23,11 +23,11 @@ test:
 	$(GO) test ./...
 
 # The concurrent subsystems — the campaign runner's goroutine fan-out, the
-# service's worker pool and stream sessions, and the incremental decoder
-# they share — must stay race-clean. Requires cgo (CGO_ENABLED=1) on most
-# platforms.
+# service's worker pool and stream sessions, the incremental decoder they
+# share, and the fleet coordinator's registry/work-stealing scheduler —
+# must stay race-clean. Requires cgo (CGO_ENABLED=1) on most platforms.
 race:
-	$(GO) test -race ./internal/experiment/... ./internal/server/... ./internal/record/...
+	$(GO) test -race ./internal/experiment/... ./internal/server/... ./internal/record/... ./cmd/cordbench/
 
 # Campaign scaling benchmark: compare procs=1 vs procs=4 lines.
 bench:
@@ -127,6 +127,14 @@ fleet:
 # committed golden baseline. CI runs this.
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
+
+# Self-healing-fleet chaos smoke (PROTOCOL.md §7): registry plus three
+# supervised workers that die and restart on a pinned CORD_CHAOS schedule;
+# the coordinator discovers workers through the registry alone and must
+# exit 0 with artifacts byte-identical to a single-process run and to the
+# committed golden baseline. CI runs this.
+fleet-chaos-smoke:
+	sh scripts/fleet-chaos-smoke.sh
 
 # Short fuzzing pass over every hardened input surface: the binary order-log
 # decoder and both service request parsers. CI runs this; crashes land in

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -17,12 +18,13 @@ import (
 )
 
 // This file is the coordinator half of the distributed campaign protocol
-// (PROTOCOL.md §6): -workers fans the detection campaign's run shards out
-// over a cordd fleet, journals every received outcome cell under its run
-// identity, and leaves RunDetection to aggregate the journal exactly as it
-// would a local run. The journal is the merge point — remote cells are
-// byte-identical to local ones (the §6 contract), so the artifacts cannot
-// depend on worker count or failure schedule.
+// (PROTOCOL.md §6 and §7): -workers (or -registry) fans the detection
+// campaign's run shards out over a cordd fleet, journals every received
+// outcome cell under its run identity, and leaves RunDetection to aggregate
+// the journal exactly as it would a local run. The journal is the merge
+// point — remote cells are byte-identical to local ones (the §6 contract),
+// so the artifacts cannot depend on worker count, placement, stealing, or
+// failure schedule. Scheduling policy itself lives in fleetpool.go.
 
 // fleetClientTimeout bounds one shard request end to end: worker queue wait
 // plus serial shard execution. Workers bound sessions themselves
@@ -31,8 +33,45 @@ const fleetClientTimeout = 5 * time.Minute
 
 // fleetRetryPolicy is the production shard-retry ladder: bounded attempts,
 // 429 Retry-After hints honored, doubling fallback for transport errors and
-// 5xx, capped so a misbehaving worker cannot stall the queue for long.
-var fleetRetryPolicy = httpretry.Policy{Attempts: 5, Fallback: 250 * time.Millisecond, Cap: 5 * time.Second}
+// 5xx — jittered per worker URL so a re-shard storm after a worker death
+// does not march the survivors' retries in lockstep — capped so a
+// misbehaving worker cannot stall the queue for long.
+var fleetRetryPolicy = httpretry.Policy{Attempts: 5, Fallback: 250 * time.Millisecond, Cap: 5 * time.Second, Jitter: 0.5}
+
+// fleetConfig bundles the coordinator's dispatch parameters. Exactly one of
+// Workers (static -workers list) or Registry (dynamic §7 discovery) names
+// the fleet.
+type fleetConfig struct {
+	// Workers are static worker base URLs; membership is fixed for the
+	// campaign and losing all of them fails the dispatch.
+	Workers []string
+	// Registry is a §7 registry base URL: the worker set is resolved from
+	// GET /v1/fleet/workers, re-resolved every PollInterval (joiners are
+	// probed and put to work mid-campaign), and losing every worker parks
+	// the remaining shards for up to JoinGrace awaiting a replacement.
+	Registry  string
+	ShardRuns int
+	Client    *http.Client
+	Policy    httpretry.Policy
+	// ProgressAddr, when non-empty, serves GET /v1/campaign/progress on
+	// this listen address for the duration of the dispatch.
+	ProgressAddr string
+	// PollInterval is the registry re-resolve cadence (default 2s).
+	PollInterval time.Duration
+	// JoinGrace is how long an all-workers-lost campaign waits for a
+	// joiner before failing, registry mode only (default 30s).
+	JoinGrace time.Duration
+}
+
+func (c fleetConfig) withDefaults() fleetConfig {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Second
+	}
+	if c.JoinGrace <= 0 {
+		c.JoinGrace = 30 * time.Second
+	}
+	return c
+}
 
 // parseWorkers splits the -workers list into base URLs.
 func parseWorkers(spec string) ([]string, error) {
@@ -53,17 +92,21 @@ func parseWorkers(spec string) ([]string, error) {
 	return urls, nil
 }
 
-// shardWork is one dispatchable shard: a contiguous run range of one app.
+// shardWork is one dispatchable shard: a contiguous run range of one app,
+// plus the §7 origin it will declare if it was stolen or requeued.
 type shardWork struct {
 	id     string
 	ranges []experiment.ShardRange
 	runs   int
+	origin string // "", "steal" or "requeue"
 }
 
 // buildShards cuts the campaign into per-app chunks of at most shardRuns
 // injection runs. Shard ids are deterministic functions of the content
 // (`<app>.<lo>.<hi>`), so a re-dispatched campaign re-sends byte-identical
-// shards and idempotent workers answer from determinism alone.
+// shards and idempotent workers answer from determinism alone. The scheduler
+// may later coalesce contiguous chunks for a fast worker; merged shards
+// follow the same id convention.
 func buildShards(meta experiment.CampaignMeta, shardRuns int) []shardWork {
 	var shards []shardWork
 	for _, app := range meta.Apps {
@@ -132,9 +175,11 @@ func (e fatalDispatchError) Unwrap() error { return e.err }
 
 // postShard sends one shard to one worker under the retry policy: 429
 // sleeps the server's Retry-After hint, transport errors and 5xx sleep the
-// doubling fallback, and a fatal status aborts the campaign. A worker that
-// exhausts the attempt budget is reported dead via a non-fatal error.
-func postShard(client *http.Client, url string, req server.CampaignShardRequest, policy httpretry.Policy, progress func(string, ...any)) ([]experiment.Cell, error) {
+// doubling fallback (jittered per worker URL), and a fatal status aborts the
+// campaign. onTransient fires on each retried failure so the scheduler can
+// mark the worker suspect. A worker that exhausts the attempt budget is
+// reported dead via a non-fatal error.
+func postShard(client *http.Client, url string, req server.CampaignShardRequest, policy httpretry.Policy, progress func(string, ...any), onTransient func()) ([]experiment.Cell, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fatalDispatchError{fmt.Errorf("encoding shard %s: %w", req.ShardID, err)}
@@ -144,10 +189,12 @@ func postShard(client *http.Client, url string, req server.CampaignShardRequest,
 		resp, err := client.Post(url+"/v1/campaign/shard", "application/json", bytes.NewReader(body))
 		if err != nil {
 			lastErr = err
+			onTransient()
 			if attempt < policy.Attempts {
+				d := policy.BackoffKeyed(url, attempt)
 				progress("fleet: %s: shard %s attempt %d/%d failed (%v); backing off %v",
-					url, req.ShardID, attempt, policy.Attempts, err, policy.Backoff(attempt))
-				time.Sleep(policy.Backoff(attempt))
+					url, req.ShardID, attempt, policy.Attempts, err, d)
+				time.Sleep(d)
 			}
 			continue
 		}
@@ -155,8 +202,9 @@ func postShard(client *http.Client, url string, req server.CampaignShardRequest,
 		resp.Body.Close()
 		if readErr != nil {
 			lastErr = readErr
+			onTransient()
 			if attempt < policy.Attempts {
-				time.Sleep(policy.Backoff(attempt))
+				time.Sleep(policy.BackoffKeyed(url, attempt))
 			}
 			continue
 		}
@@ -168,7 +216,8 @@ func postShard(client *http.Client, url string, req server.CampaignShardRequest,
 			}
 			return sr.Cells, nil
 		case resp.StatusCode == http.StatusTooManyRequests:
-			d := policy.RetryAfter(resp.Header.Get("Retry-After"), attempt)
+			// Pushback is flow control, not sickness: no onTransient.
+			d := policy.RetryAfterKeyed(resp.Header.Get("Retry-After"), url, attempt)
 			lastErr = fmt.Errorf("worker %s pushed back (429)", url)
 			if attempt < policy.Attempts {
 				progress("fleet: %s: shard %s throttled; honoring Retry-After %v", url, req.ShardID, d)
@@ -181,80 +230,82 @@ func postShard(client *http.Client, url string, req server.CampaignShardRequest,
 				url, req.ShardID, resp.StatusCode, ep.Code, ep.Error)}
 		default: // 5xx, 503 draining, timeouts: maybe transient, maybe dying
 			lastErr = fmt.Errorf("worker %s: shard %s: status %d", url, req.ShardID, resp.StatusCode)
+			onTransient()
 			if attempt < policy.Attempts {
-				time.Sleep(policy.Backoff(attempt))
+				time.Sleep(policy.BackoffKeyed(url, attempt))
 			}
 		}
 	}
 	return nil, fmt.Errorf("worker %s gave up after %d attempts: %w", url, policy.Attempts, lastErr)
 }
 
-// fleetState is the shared dispatch queue: a stack of pending shards plus
-// the counters that decide termination. Dead workers push their in-flight
-// shard back and leave; the campaign fails only when no live worker remains
-// to take the pending work.
-type fleetState struct {
-	mu          sync.Mutex
-	cond        *sync.Cond
-	pending     []shardWork
-	inflight    int
-	live        int
-	failed      error
-	interrupted bool
-}
-
-// next blocks until there is a shard to take, all work is done, or the
-// dispatch is aborted; ok reports whether a shard was taken.
-func (s *fleetState) next() (shardWork, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.pending) == 0 && s.inflight > 0 && s.failed == nil && !s.interrupted {
-		s.cond.Wait()
+// probeWorker sends the §6 plan probe and measures its round trip — the
+// seed of the worker's latency EWMA. A disagreeing fingerprint or a fatal
+// status returns a fatalDispatchError; any other failure is a skip (the
+// worker is unusable right now, not proof the campaign is wrong).
+func probeWorker(client *http.Client, url string, planBody []byte, fp string) (rtt time.Duration, err error) {
+	start := time.Now()
+	resp, err := client.Post(url+"/v1/campaign/plan", "application/json", bytes.NewReader(planBody))
+	if err != nil {
+		return 0, fmt.Errorf("unreachable: %w", err)
 	}
-	if s.failed != nil || s.interrupted || len(s.pending) == 0 {
-		return shardWork{}, false
+	b, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	rtt = time.Since(start)
+	if readErr != nil || resp.StatusCode != http.StatusOK {
+		var ep errorPayload
+		_ = json.Unmarshal(b, &ep)
+		if fatalStatus(resp.StatusCode) {
+			return 0, fatalDispatchError{fmt.Errorf("%s rejected the campaign plan: status %d code %q: %s",
+				url, resp.StatusCode, ep.Code, ep.Error)}
+		}
+		return 0, fmt.Errorf("plan probe failed (status %d)", resp.StatusCode)
 	}
-	w := s.pending[len(s.pending)-1]
-	s.pending = s.pending[:len(s.pending)-1]
-	s.inflight++
-	return w, true
-}
-
-func (s *fleetState) done() {
-	s.mu.Lock()
-	s.inflight--
-	s.cond.Broadcast()
-	s.mu.Unlock()
-}
-
-// workerDied returns the worker's in-flight shard to the queue. The last
-// live worker's death with work outstanding fails the campaign.
-func (s *fleetState) workerDied(w shardWork, err error) {
-	s.mu.Lock()
-	s.pending = append(s.pending, w)
-	s.inflight--
-	s.live--
-	if s.live == 0 {
-		s.failed = fmt.Errorf("all workers lost with %d shards outstanding; last: %w", len(s.pending), err)
+	var plan server.CampaignPlanResponse
+	if err := json.Unmarshal(b, &plan); err != nil {
+		return 0, fatalDispatchError{fmt.Errorf("%s: unparsable plan response: %v", url, err)}
 	}
-	s.cond.Broadcast()
-	s.mu.Unlock()
-}
-
-func (s *fleetState) fail(err error) {
-	s.mu.Lock()
-	if s.failed == nil {
-		s.failed = err
+	if plan.Fingerprint != fp {
+		return 0, fatalDispatchError{fmt.Errorf("%s fingerprints the campaign %s, this coordinator %s: worker and coordinator builds or configurations disagree — refusing to merge its results",
+			url, plan.Fingerprint, fp)}
 	}
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	return rtt, nil
 }
 
-func (s *fleetState) interrupt() {
-	s.mu.Lock()
-	s.interrupted = true
-	s.cond.Broadcast()
-	s.mu.Unlock()
+// resolveRegistry lists the live workers from a §7 registry.
+func resolveRegistry(client *http.Client, registry string) ([]string, error) {
+	resp, err := client.Get(registry + "/v1/fleet/workers")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: registry %s unreachable: %w", registry, err)
+	}
+	b, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: registry %s listing failed (status %d)", registry, resp.StatusCode)
+	}
+	var list server.FleetWorkersResponse
+	if err := json.Unmarshal(b, &list); err != nil {
+		return nil, fmt.Errorf("fleet: registry %s: unparsable listing: %v", registry, err)
+	}
+	urls := make([]string, 0, len(list.Workers))
+	for _, w := range list.Workers {
+		urls = append(urls, strings.TrimRight(w.URL, "/"))
+	}
+	return urls, nil
+}
+
+// startProgressServer serves GET /v1/campaign/progress on addr until stop is
+// called, returning the bound base URL (addr may carry port 0).
+func startProgressServer(addr string, snapshot func() server.CampaignProgress) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("fleet: progress listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/campaign/progress", server.ProgressHandler(snapshot))
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
 }
 
 // fleetDispatch executes the detection campaign's runs on a cordd fleet and
@@ -263,12 +314,15 @@ func (s *fleetState) interrupt() {
 // RunDetection aggregates entirely from the journal without simulating
 // anything locally.
 //
-// Worker loss is survived by re-sharding: a worker that exhausts its retry
-// budget is dropped and its shard returns to the queue for the survivors.
-// Closing opts.Interrupt drains in-flight shards (journaling them) and
-// returns experiment.ErrInterrupted; the journal then resumes the campaign
-// exactly like a local -resume.
-func fleetDispatch(opts experiment.Options, workerURLs []string, shardRuns int, client *http.Client, policy httpretry.Policy) error {
+// Worker loss is survived by requeueing: a worker that exhausts its retry
+// budget is dropped and its backlog redistributes to the survivors (or, in
+// registry mode, waits for a joiner). Fast workers steal queued shards from
+// slow or suspect ones — still exactly-once, because the journal keyed by
+// run identity is the merge point. Closing opts.Interrupt drains in-flight
+// shards (journaling them) and returns experiment.ErrInterrupted; the
+// journal then resumes the campaign exactly like a local -resume.
+func fleetDispatch(opts experiment.Options, cfg fleetConfig) error {
+	cfg = cfg.withDefaults()
 	if opts.Checkpoint == nil {
 		return errors.New("fleet dispatch needs a checkpoint journal as its merge point")
 	}
@@ -280,44 +334,54 @@ func fleetDispatch(opts experiment.Options, workerURLs []string, shardRuns int, 
 			fmt.Fprintf(opts.Progress, format+"\n", args...)
 		}
 	}
+	planBody, err := json.Marshal(server.CampaignPlanRequest{Campaign: campaign, Options: meta})
+	if err != nil {
+		return fmt.Errorf("fleet: encoding plan request: %w", err)
+	}
+
+	// Resolve the worker set: the static -workers list, or the registry's
+	// current listing (retried across PollInterval for up to JoinGrace — a
+	// fleet may still be registering when the coordinator starts).
+	workerURLs := cfg.Workers
+	if cfg.Registry != "" {
+		deadline := time.Now().Add(cfg.JoinGrace)
+		for {
+			workerURLs, err = resolveRegistry(cfg.Client, cfg.Registry)
+			if err == nil && len(workerURLs) > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				if err == nil {
+					err = fmt.Errorf("fleet: registry %s lists no workers", cfg.Registry)
+				}
+				return err
+			}
+			progress("fleet: registry has no workers yet; retrying in %v", cfg.PollInterval)
+			time.Sleep(cfg.PollInterval)
+		}
+	}
 
 	// Probe every worker's plan endpoint: agreement on the fingerprint is
 	// the precondition for merging anything a worker says. Unreachable
 	// workers are dropped with a warning; a disagreeing worker is version
 	// or configuration skew and aborts the dispatch — its cells would merge
-	// silently wrong.
-	planBody, err := json.Marshal(server.CampaignPlanRequest{Campaign: campaign, Options: meta})
-	if err != nil {
-		return fmt.Errorf("fleet: encoding plan request: %w", err)
+	// silently wrong. The probe round trip seeds the placement EWMA.
+	type probed struct {
+		url string
+		rtt time.Duration
 	}
-	var live []string
+	var live []probed
 	for _, url := range workerURLs {
-		resp, err := client.Post(url+"/v1/campaign/plan", "application/json", bytes.NewReader(planBody))
+		rtt, err := probeWorker(cfg.Client, url, planBody, fp)
 		if err != nil {
-			progress("fleet: %s unreachable (%v); dispatching without it", url, err)
-			continue
-		}
-		b, readErr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if readErr != nil || resp.StatusCode != http.StatusOK {
-			var ep errorPayload
-			_ = json.Unmarshal(b, &ep)
-			if fatalStatus(resp.StatusCode) {
-				return fmt.Errorf("fleet: %s rejected the campaign plan: status %d code %q: %s",
-					url, resp.StatusCode, ep.Code, ep.Error)
+			var fatal fatalDispatchError
+			if errors.As(err, &fatal) {
+				return fmt.Errorf("fleet: %w", err)
 			}
-			progress("fleet: %s plan probe failed (status %d); dispatching without it", url, resp.StatusCode)
+			progress("fleet: %s: %v; dispatching without it", url, err)
 			continue
 		}
-		var plan server.CampaignPlanResponse
-		if err := json.Unmarshal(b, &plan); err != nil {
-			return fmt.Errorf("fleet: %s: unparsable plan response: %v", url, err)
-		}
-		if plan.Fingerprint != fp {
-			return fmt.Errorf("fleet: %s fingerprints the campaign %s, this coordinator %s: worker and coordinator builds or configurations disagree — refusing to merge its results",
-				url, plan.Fingerprint, fp)
-		}
-		live = append(live, url)
+		live = append(live, probed{url, rtt})
 	}
 	if len(live) == 0 {
 		return fmt.Errorf("fleet: none of the %d workers is usable", len(workerURLs))
@@ -328,7 +392,7 @@ func fleetDispatch(opts experiment.Options, workerURLs []string, shardRuns int, 
 	for i, name := range meta.Apps {
 		appIdx[name] = i
 	}
-	all := buildShards(meta, shardRuns)
+	all := buildShards(meta, cfg.ShardRuns)
 	var shards []shardWork
 	skipped := 0
 	for _, w := range all {
@@ -339,13 +403,34 @@ func fleetDispatch(opts experiment.Options, workerURLs []string, shardRuns int, 
 		shards = append(shards, w)
 	}
 	progress("fleet: %d workers, %d shards of <=%d runs (%d already journaled)",
-		len(live), len(shards), shardRuns, skipped)
+		len(live), len(shards), cfg.ShardRuns, skipped)
 	if len(shards) == 0 {
 		return nil
 	}
 
-	st := &fleetState{pending: shards, live: len(live)}
-	st.cond = sync.NewCond(&st.mu)
+	pool := newFleetPool(campaign, fp, cfg.ShardRuns, cfg.Registry != "", cfg.JoinGrace,
+		len(meta.Apps)*(1+meta.Injections))
+	var seeded []string
+	for i := range meta.Apps {
+		if opts.Checkpoint.Has(opts.DetectCountKey(i)) {
+			seeded = append(seeded, opts.DetectCountKey(i))
+		}
+		for j := 0; j < meta.Injections; j++ {
+			if opts.Checkpoint.Has(opts.DetectInjectKey(i, j)) {
+				seeded = append(seeded, opts.DetectInjectKey(i, j))
+			}
+		}
+	}
+	pool.seedJournaled(seeded)
+
+	if cfg.ProgressAddr != "" {
+		bound, stopProgress, err := startProgressServer(cfg.ProgressAddr, pool.snapshot)
+		if err != nil {
+			return err
+		}
+		defer stopProgress()
+		progress("fleet: progress at %s/v1/campaign/progress", bound)
+	}
 
 	stopWatch := make(chan struct{})
 	defer close(stopWatch)
@@ -353,74 +438,133 @@ func fleetDispatch(opts experiment.Options, workerURLs []string, shardRuns int, 
 		go func() {
 			select {
 			case <-opts.Interrupt:
-				st.interrupt()
+				pool.interrupt()
 			case <-stopWatch:
 			}
 		}()
 	}
 
+	// Worker loops: take (own queue → orphans → steal), execute, journal.
 	var wg sync.WaitGroup
-	for _, url := range live {
-		wg.Add(1)
-		go func(url string) {
-			defer wg.Done()
-			for {
-				w, ok := st.next()
-				if !ok {
-					return
-				}
-				req := server.CampaignShardRequest{
-					Campaign:    campaign,
-					ShardID:     w.id,
-					Fingerprint: fp,
-					Options:     meta,
-					Ranges:      w.ranges,
-				}
-				cells, err := postShard(client, url, req, policy, progress)
-				if err != nil {
-					var fatal fatalDispatchError
-					if errors.As(err, &fatal) {
-						st.fail(err)
-						st.done()
-						return
-					}
-					progress("fleet: dropping %s (%v); re-sharding %s to the survivors", url, err, w.id)
-					st.workerDied(w, err)
-					return
-				}
-				// The journal is the merge point: Append compacts the
-				// wire cells back to the exact bytes a local campaign
-				// journals, and duplicate keys (count cells shared by
-				// shards of one app) overwrite with identical bytes.
-				var jerr error
-				for _, c := range cells {
-					if err := opts.Checkpoint.Append(c.Key, c.Data); err != nil {
-						jerr = fmt.Errorf("fleet: journaling %s: %w", c.Key, err)
-						break
-					}
-				}
-				if jerr != nil {
-					// Unlike a local run (where a lost journal entry only
-					// costs resume time), the journal is the only copy of a
-					// remote outcome — a failed append must stop the
-					// campaign before aggregation runs on holes.
-					st.fail(jerr)
-					st.done()
-					return
-				}
-				progress("fleet: %s completed shard %s (%d runs, %d cells)", url, w.id, w.runs, len(cells))
-				st.done()
+	runWorker := func(url string) {
+		defer wg.Done()
+		for {
+			w, ok := pool.take(url)
+			if !ok {
+				return
 			}
-		}(url)
+			req := server.CampaignShardRequest{
+				Campaign:    campaign,
+				ShardID:     w.id,
+				Fingerprint: fp,
+				Options:     meta,
+				Ranges:      w.ranges,
+				Origin:      w.origin,
+			}
+			start := time.Now()
+			cells, err := postShard(cfg.Client, url, req, cfg.Policy, progress,
+				func() { pool.markSuspect(url) })
+			if err != nil {
+				var fatal fatalDispatchError
+				if errors.As(err, &fatal) {
+					pool.fail(err)
+					pool.workerDied(url, w, err) // releases the in-flight slot
+					return
+				}
+				progress("fleet: dropping %s (%v); requeueing %s", url, err, w.id)
+				pool.workerDied(url, w, err)
+				return
+			}
+			// The journal is the merge point: Append compacts the wire
+			// cells back to the exact bytes a local campaign journals, and
+			// duplicate keys (count cells shared by shards of one app)
+			// overwrite with identical bytes.
+			var jerr error
+			for _, c := range cells {
+				if err := opts.Checkpoint.Append(c.Key, c.Data); err != nil {
+					jerr = fmt.Errorf("fleet: journaling %s: %w", c.Key, err)
+					break
+				}
+				pool.journaled(c.Key)
+			}
+			if jerr != nil {
+				// Unlike a local run (where a lost journal entry only costs
+				// resume time), the journal is the only copy of a remote
+				// outcome — a failed append must stop the campaign before
+				// aggregation runs on holes.
+				pool.fail(jerr)
+				pool.completed(url, w, time.Since(start))
+				return
+			}
+			if w.origin != "" {
+				progress("fleet: %s completed shard %s via %s (%d runs, %d cells)", url, w.id, w.origin, w.runs, len(cells))
+			} else {
+				progress("fleet: %s completed shard %s (%d runs, %d cells)", url, w.id, w.runs, len(cells))
+			}
+			pool.completed(url, w, time.Since(start))
+		}
 	}
+	for _, p := range live {
+		if pool.addWorker(p.url, float64(p.rtt)/float64(time.Millisecond)) {
+			wg.Add(1)
+			go runWorker(p.url)
+		}
+	}
+	pool.placeShards(shards)
+
+	// Registry mode: re-resolve membership on a cadence, probing joiners
+	// (and restarted workers, which re-register under their old URL) and
+	// putting them to work mid-campaign. A joiner that disagrees on the
+	// fingerprint is skipped with a warning, not fatal: nothing of its has
+	// been merged, unlike the workers the campaign started with.
+	stopMembership := make(chan struct{})
+	membershipDone := make(chan struct{})
+	if cfg.Registry != "" {
+		go func() {
+			defer close(membershipDone)
+			tick := time.NewTicker(cfg.PollInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopMembership:
+					return
+				case <-tick.C:
+				}
+				urls, err := resolveRegistry(cfg.Client, cfg.Registry)
+				if err != nil {
+					progress("%v; keeping current membership", err)
+					continue
+				}
+				for _, url := range urls {
+					if !pool.candidate(url) {
+						continue
+					}
+					rtt, err := probeWorker(cfg.Client, url, planBody, fp)
+					if err != nil {
+						progress("fleet: joiner %s: %v; skipping", url, err)
+						continue
+					}
+					if pool.addWorker(url, float64(rtt)/float64(time.Millisecond)) {
+						progress("fleet: %s joined the campaign", url)
+						wg.Add(1)
+						go runWorker(url)
+					}
+				}
+			}
+		}()
+	} else {
+		close(membershipDone)
+	}
+
+	failed, interrupted := pool.waitDone()
+	close(stopMembership)
+	<-membershipDone
 	wg.Wait()
 
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.failed != nil {
-		return st.failed
+	if failed != nil {
+		return failed
 	}
-	if st.interrupted {
+	if interrupted {
 		return experiment.ErrInterrupted
 	}
 	return nil

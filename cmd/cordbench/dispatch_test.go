@@ -24,6 +24,17 @@ import (
 // fleetRetryPolicy's second-scale backoff, tests cannot afford it.
 var testPolicy = httpretry.Policy{Attempts: 3, Fallback: time.Millisecond, Cap: 5 * time.Millisecond}
 
+// testDispatch runs fleetDispatch against a static worker list with the
+// fast test retry policy and a short registry cadence.
+func testDispatch(opts experiment.Options, urls []string, shardRuns int, client *http.Client) error {
+	return fleetDispatch(opts, fleetConfig{
+		Workers:   urls,
+		ShardRuns: shardRuns,
+		Client:    client,
+		Policy:    testPolicy,
+	})
+}
+
 // fleetTestOptions is a campaign small enough to dispatch many times in a
 // test yet wide enough to shard across apps.
 func fleetTestOptions(t *testing.T) experiment.Options {
@@ -60,6 +71,50 @@ func newWorker(t *testing.T) *httptest.Server {
 	ts := httptest.NewServer(server.New(server.Config{Workers: 2}))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// newMeteredWorker additionally returns the server handle, so tests can
+// assert on its /metrics fleet counters (shards_stolen, shards_requeued are
+// bumped by the worker that receives the re-routed shard).
+func newMeteredWorker(t *testing.T) (*httptest.Server, *server.Server) {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// newSlowWorker starts a real worker whose shard responses are delayed,
+// making it the steal victim of any faster peer.
+func newSlowWorker(t *testing.T, delay time.Duration) *httptest.Server {
+	t.Helper()
+	backend := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/campaign/shard") {
+			time.Sleep(delay)
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// registerWorker announces a worker URL to a §7 registry with a TTL that
+// outlives any test.
+func registerWorker(t *testing.T, client *http.Client, registry, worker string) {
+	t.Helper()
+	body, err := json.Marshal(server.FleetRegisterRequest{URL: worker, TTLSeconds: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(registry+"/v1/fleet/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("registering %s: status %d", worker, resp.StatusCode)
+	}
 }
 
 func TestParseWorkers(t *testing.T) {
@@ -106,7 +161,7 @@ func TestFleetDispatchEquivalence(t *testing.T) {
 	jl := openTestJournal(t)
 	dopts := opts
 	dopts.Checkpoint = jl
-	err := fleetDispatch(dopts, []string{w1.URL, w2.URL}, 3, w1.Client(), testPolicy)
+	err := testDispatch(dopts, []string{w1.URL, w2.URL}, 3, w1.Client())
 	if err != nil {
 		t.Fatalf("fleetDispatch: %v", err)
 	}
@@ -142,7 +197,7 @@ func TestFleetDispatchEquivalence(t *testing.T) {
 // finish on the survivor with a complete journal.
 func TestFleetDispatchWorkerDeathReshards(t *testing.T) {
 	opts := fleetTestOptions(t)
-	healthy := newWorker(t)
+	healthy, healthySrv := newMeteredWorker(t)
 
 	// The dying worker answers its plan probe and first shard from a real
 	// server, then fails everything — indistinguishable on the wire from a
@@ -161,7 +216,7 @@ func TestFleetDispatchWorkerDeathReshards(t *testing.T) {
 	jl := openTestJournal(t)
 	dopts := opts
 	dopts.Checkpoint = jl
-	err := fleetDispatch(dopts, []string{healthy.URL, dying.URL}, 1, healthy.Client(), testPolicy)
+	err := testDispatch(dopts, []string{healthy.URL, dying.URL}, 1, healthy.Client())
 	if err != nil {
 		t.Fatalf("fleetDispatch with a dying worker: %v", err)
 	}
@@ -180,6 +235,11 @@ func TestFleetDispatchWorkerDeathReshards(t *testing.T) {
 				t.Fatalf("app %d run %d missing after re-shard", appIdx, i)
 			}
 		}
+	}
+	// The rescue is visible on the wire: the survivor executed shards that
+	// declared origin=requeue, which its /metrics fleet block counts.
+	if got := healthySrv.Metrics().Fleet.ShardsRequeued; got == 0 {
+		t.Fatal("survivor executed no origin=requeue shards (fleet.shards_requeued = 0)")
 	}
 }
 
@@ -213,7 +273,7 @@ func TestFleetDispatchRetryAfter(t *testing.T) {
 	jl := openTestJournal(t)
 	dopts := opts
 	dopts.Checkpoint = jl
-	if err := fleetDispatch(dopts, []string{ts.URL}, 1, ts.Client(), testPolicy); err != nil {
+	if err := testDispatch(dopts, []string{ts.URL}, 1, ts.Client()); err != nil {
 		t.Fatalf("fleetDispatch through 429s: %v", err)
 	}
 	if throttled.Load() == 0 {
@@ -236,7 +296,7 @@ func TestFleetDispatchFingerprintSkew(t *testing.T) {
 
 	dopts := opts
 	dopts.Checkpoint = openTestJournal(t)
-	err := fleetDispatch(dopts, []string{ts.URL}, 2, ts.Client(), testPolicy)
+	err := testDispatch(dopts, []string{ts.URL}, 2, ts.Client())
 	if err == nil || !strings.Contains(err.Error(), "refusing to merge") {
 		t.Fatalf("fingerprint skew not fatal: %v", err)
 	}
@@ -251,7 +311,7 @@ func TestFleetDispatchBadPlanIsFatal(t *testing.T) {
 	ts := newWorker(t)
 	dopts := opts
 	dopts.Checkpoint = openTestJournal(t)
-	err := fleetDispatch(dopts, []string{ts.URL}, 2, ts.Client(), testPolicy)
+	err := testDispatch(dopts, []string{ts.URL}, 2, ts.Client())
 	if err == nil || !strings.Contains(err.Error(), "rejected the campaign plan") {
 		t.Fatalf("bad plan not fatal: %v", err)
 	}
@@ -266,7 +326,7 @@ func TestFleetDispatchAllWorkersUnreachable(t *testing.T) {
 
 	opts := fleetTestOptions(t)
 	opts.Checkpoint = openTestJournal(t)
-	err := fleetDispatch(opts, []string{dead.URL}, 2, client, testPolicy)
+	err := testDispatch(opts, []string{dead.URL}, 2, client)
 	if err == nil || !strings.Contains(err.Error(), "none of the 1 workers is usable") {
 		t.Fatalf("unreachable fleet not fatal: %v", err)
 	}
@@ -295,11 +355,160 @@ func TestFleetDispatchResumeSkipsJournaledShards(t *testing.T) {
 	}))
 	t.Cleanup(ts.Close)
 
-	if err := fleetDispatch(local, []string{ts.URL}, 2, ts.Client(), testPolicy); err != nil {
+	if err := testDispatch(local, []string{ts.URL}, 2, ts.Client()); err != nil {
 		t.Fatalf("fleetDispatch over a complete journal: %v", err)
 	}
 	if n := shardPosts.Load(); n != 0 {
 		t.Fatalf("complete journal still dispatched %d shards", n)
+	}
+}
+
+// TestFleetDispatchStealsFromSlowWorker pairs a fast worker with one that
+// grinds through every shard slowly: the fast worker must drain its own
+// queue and then steal from the slow one's backlog, and the stolen shards
+// are wire-visible on the fast worker's /metrics fleet block.
+func TestFleetDispatchStealsFromSlowWorker(t *testing.T) {
+	opts := fleetTestOptions(t)
+	opts.Injections = 6 // 12 single-run shards across the two apps
+	fast, fastSrv := newMeteredWorker(t)
+	slow := newSlowWorker(t, 40*time.Millisecond)
+
+	dopts := opts
+	dopts.Checkpoint = openTestJournal(t)
+	if err := testDispatch(dopts, []string{fast.URL, slow.URL}, 1, fast.Client()); err != nil {
+		t.Fatalf("fleetDispatch with a slow worker: %v", err)
+	}
+	if got := fastSrv.Metrics().Fleet.ShardsStolen; got == 0 {
+		t.Fatal("fast worker executed no origin=steal shards (fleet.shards_stolen = 0)")
+	}
+	// Stealing must not cost coverage: the whole campaign is journaled.
+	meta := dopts.Meta()
+	for appIdx := range meta.Apps {
+		for i := 0; i < meta.Injections; i++ {
+			if !dopts.Checkpoint.Has(dopts.DetectInjectKey(appIdx, i)) {
+				t.Fatalf("app %d run %d missing after stealing", appIdx, i)
+			}
+		}
+	}
+}
+
+// TestFleetDispatchRegistryLateJoiner resolves the fleet from a §7 registry:
+// the campaign starts on one slow worker, a second worker registers while it
+// runs, and the membership poll must probe the joiner and put it to work.
+func TestFleetDispatchRegistryLateJoiner(t *testing.T) {
+	opts := fleetTestOptions(t) // 8 single-run shards
+	registry := newWorker(t)
+	slow := newSlowWorker(t, 30*time.Millisecond)
+
+	var joinerShards atomic.Int64
+	joinerBackend := server.New(server.Config{Workers: 2})
+	joiner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/campaign/shard") {
+			joinerShards.Add(1)
+		}
+		joinerBackend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(joiner.Close)
+
+	registerWorker(t, registry.Client(), registry.URL, slow.URL)
+	// The joiner announces itself a few slow shards into the campaign (a
+	// raw POST: t.Fatal is not allowed off the test goroutine — if it fails,
+	// the joinerShards assertion below reports it).
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		body, _ := json.Marshal(server.FleetRegisterRequest{URL: joiner.URL, TTLSeconds: 300})
+		resp, err := http.Post(registry.URL+"/v1/fleet/register", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	dopts := opts
+	dopts.Checkpoint = openTestJournal(t)
+	err := fleetDispatch(dopts, fleetConfig{
+		Registry:     registry.URL,
+		ShardRuns:    1,
+		Client:       registry.Client(),
+		Policy:       testPolicy,
+		PollInterval: 10 * time.Millisecond,
+		JoinGrace:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("registry dispatch: %v", err)
+	}
+	if joinerShards.Load() == 0 {
+		t.Fatal("late joiner executed no shards; membership polling never picked it up")
+	}
+	meta := dopts.Meta()
+	for appIdx := range meta.Apps {
+		for i := 0; i < meta.Injections; i++ {
+			if !dopts.Checkpoint.Has(dopts.DetectInjectKey(appIdx, i)) {
+				t.Fatalf("app %d run %d missing after late join", appIdx, i)
+			}
+		}
+	}
+}
+
+// TestFleetDispatchRegistryGraceExpires: in registry mode losing every
+// worker parks the campaign for JoinGrace, and with no joiner the dispatch
+// fails with the grace diagnosis instead of hanging.
+func TestFleetDispatchRegistryGraceExpires(t *testing.T) {
+	registry := newWorker(t)
+
+	// The worker answers exactly one plan probe (the coordinator's), then
+	// fails everything — so after its death the membership poll cannot
+	// revive it either.
+	var plans atomic.Int64
+	backend := server.New(server.Config{Workers: 2})
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/campaign/plan") && plans.Add(1) == 1 {
+			backend.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "worker lost", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dying.Close)
+	registerWorker(t, registry.Client(), registry.URL, dying.URL)
+
+	opts := fleetTestOptions(t)
+	opts.Checkpoint = openTestJournal(t)
+	err := fleetDispatch(opts, fleetConfig{
+		Registry:     registry.URL,
+		ShardRuns:    2,
+		Client:       registry.Client(),
+		Policy:       testPolicy,
+		PollInterval: 10 * time.Millisecond,
+		JoinGrace:    100 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "none joined within") {
+		t.Fatalf("grace expiry not reported: %v", err)
+	}
+}
+
+// TestStartProgressServer: the coordinator's progress endpoint binds an
+// ephemeral port and serves the §7 resource.
+func TestStartProgressServer(t *testing.T) {
+	base, stop, err := startProgressServer("127.0.0.1:0", func() server.CampaignProgress {
+		return server.CampaignProgress{Campaign: "bench-f00", Fingerprint: "f00", CellsDone: 1, CellsTotal: 4}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get(base + "/v1/campaign/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress status = %d", resp.StatusCode)
+	}
+	var prog server.CampaignProgress
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Schema != server.SchemaVersion || prog.Campaign != "bench-f00" || prog.CellsDone != 1 {
+		t.Fatalf("progress = %+v", prog)
 	}
 }
 
@@ -313,7 +522,7 @@ func TestFleetDispatchInterrupt(t *testing.T) {
 	opts.Interrupt = interrupt
 
 	ts := newWorker(t)
-	err := fleetDispatch(opts, []string{ts.URL}, 2, ts.Client(), testPolicy)
+	err := testDispatch(opts, []string{ts.URL}, 2, ts.Client())
 	if !errors.Is(err, experiment.ErrInterrupted) {
 		t.Fatalf("err = %v, want ErrInterrupted", err)
 	}

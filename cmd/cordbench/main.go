@@ -141,7 +141,9 @@ func run() int {
 		resume     = flag.Bool("resume", false, "with -checkpoint: reuse journaled runs from an earlier interrupted invocation")
 		appsFl     = flag.String("apps", "", "comma-separated application subset (default: all of Table 1)")
 		workersFl  = flag.String("workers", "", "comma-separated cordd base URLs; dispatches the detection campaign to this fleet instead of running it locally (PROTOCOL.md §6)")
-		shardRuns  = flag.Int("shard-runs", 8, "with -workers: maximum injection runs per dispatched shard")
+		registryFl = flag.String("registry", "", "fleet registry base URL; resolves workers from GET /v1/fleet/workers and follows membership as it changes (PROTOCOL.md §7)")
+		shardRuns  = flag.Int("shard-runs", 8, "with -workers/-registry: maximum injection runs per dispatched shard")
+		progAddr   = flag.String("progress-addr", "", "with -workers/-registry: serve GET /v1/campaign/progress on this address during dispatch")
 	)
 	flag.Parse()
 
@@ -166,19 +168,31 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	if *workersFl != "" && *registryFl != "" {
+		fmt.Fprintf(os.Stderr, "cordbench: -workers and -registry are mutually exclusive (a static list or dynamic discovery, not both)\n")
+		flag.Usage()
+		return 2
+	}
 	var workerURLs []string
-	if *workersFl != "" {
+	if *workersFl != "" || *registryFl != "" {
 		if *shardRuns < 1 {
 			fmt.Fprintf(os.Stderr, "cordbench: -shard-runs must be at least 1, got %d\n", *shardRuns)
 			flag.Usage()
 			return 2
 		}
+	}
+	if *workersFl != "" {
 		workerURLs, err = parseWorkers(*workersFl)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cordbench: %v\n", err)
 			flag.Usage()
 			return 2
 		}
+	}
+	if *registryFl != "" && !strings.HasPrefix(*registryFl, "http://") && !strings.HasPrefix(*registryFl, "https://") {
+		fmt.Fprintf(os.Stderr, "cordbench: -registry must be an http(s) base URL, got %q\n", *registryFl)
+		flag.Usage()
+		return 2
 	}
 
 	if *all {
@@ -309,7 +323,7 @@ func run() int {
 	}
 
 	needDetection := *fig10 || *fig12 || *fig13 || *fig14 || *fig15 || *fig16 || *fig17
-	if needDetection && len(workerURLs) > 0 {
+	if needDetection && (len(workerURLs) > 0 || *registryFl != "") {
 		// The journal is the fleet's merge point, so dispatch needs one even
 		// without -checkpoint; an ephemeral journal gives the same
 		// byte-identical aggregation, just without crash-safe resume.
@@ -329,8 +343,15 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "cordbench: no -checkpoint; fleet outcomes merge through an ephemeral journal (pass -checkpoint <dir> for crash-safe resume)")
 			}
 		}
-		client := &http.Client{Timeout: fleetClientTimeout}
-		if err := fleetDispatch(opts, workerURLs, *shardRuns, client, fleetRetryPolicy); err != nil {
+		cfg := fleetConfig{
+			Workers:      workerURLs,
+			Registry:     strings.TrimRight(*registryFl, "/"),
+			ShardRuns:    *shardRuns,
+			Client:       &http.Client{Timeout: fleetClientTimeout},
+			Policy:       fleetRetryPolicy,
+			ProgressAddr: *progAddr,
+		}
+		if err := fleetDispatch(opts, cfg); err != nil {
 			return errf(err)
 		}
 	}

@@ -12,23 +12,37 @@
 // -stream-workers the per-session ingest fan-out), POST /v1/campaign/plan
 // and POST /v1/campaign/shard (distributed-campaign worker protocol,
 // PROTOCOL.md §6 — a cordbench coordinator with -workers fans run shards
-// across a fleet of these processes), GET /healthz, GET /metrics.
-// SIGINT/SIGTERM drain in-flight sessions — streams included — before the
-// process exits.
+// across a fleet of these processes), POST /v1/fleet/register and
+// GET /v1/fleet/workers (fleet membership, PROTOCOL.md §7), GET /healthz,
+// GET /metrics. SIGINT/SIGTERM drain in-flight sessions — streams included —
+// before the process exits.
+//
+// Fleet roles (PROTOCOL.md §7): `cordd -registry` marks an instance as the
+// fleet registry other workers announce themselves to; `cordd -register
+// http://reg:8080` joins that fleet, heartbeating its advertised URL
+// (-advertise, derived from -addr when omitted) every -register-ttl/3 so a
+// crashed worker expires from discovery within one TTL. The CORD_CHAOS
+// worker-kill knob arms deterministic mid-campaign worker deaths for the
+// fleet-chaos smoke test.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cord/internal/chaos"
 	"cord/internal/server"
 )
 
@@ -82,6 +96,86 @@ func validateFlags(workers, queue int, timeout, drain time.Duration, maxBody int
 	return nil
 }
 
+// validateFleetFlags checks the §7 membership flags: -register and
+// -advertise must be absolute http(s) URLs and the heartbeat TTL must fit
+// the registry's accepted range.
+func validateFleetFlags(register, advertise string, ttl time.Duration) error {
+	for flagName, u := range map[string]string{"-register": register, "-advertise": advertise} {
+		if u == "" {
+			continue
+		}
+		p, err := url.Parse(u)
+		if err != nil || (p.Scheme != "http" && p.Scheme != "https") || p.Host == "" {
+			return fmt.Errorf("%s must be an absolute http(s) URL, got %q", flagName, u)
+		}
+	}
+	if advertise != "" && register == "" {
+		return fmt.Errorf("-advertise is only meaningful with -register")
+	}
+	if register != "" && (ttl < time.Second || ttl > 300*time.Second) {
+		return fmt.Errorf("-register-ttl must be in [1s, 300s], got %v", ttl)
+	}
+	return nil
+}
+
+// advertiseURL derives the URL to announce when -advertise is not given:
+// the listen address with a loopback host filled in for a bare ":port".
+// Cross-host fleets must pass -advertise explicitly — a bind address is not
+// necessarily reachable from the coordinator.
+func advertiseURL(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// heartbeat announces the worker to the registry now and then every ttl/3
+// until ctx is canceled, so two consecutive lost heartbeats still leave the
+// registration alive. Failures are logged and retried on the next tick —
+// a registry restart heals itself without worker intervention.
+func heartbeat(ctx context.Context, client *http.Client, registry, advertise string, workers int, ttl time.Duration) {
+	body, err := json.Marshal(server.FleetRegisterRequest{
+		URL:        advertise,
+		Workers:    workers,
+		TTLSeconds: int(ttl / time.Second),
+	})
+	if err != nil { // a struct of strings and ints always marshals
+		log.Printf("cordd: encoding registration: %v", err)
+		return
+	}
+	beat := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			registry+"/v1/fleet/register", bytes.NewReader(body))
+		if err != nil {
+			log.Printf("cordd: registering with %s: %v", registry, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				log.Printf("cordd: heartbeat to %s failed: %v", registry, err)
+			}
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Printf("cordd: heartbeat to %s answered %d", registry, resp.StatusCode)
+		}
+	}
+	beat()
+	tick := time.NewTicker(ttl / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			beat()
+		}
+	}
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -101,6 +195,11 @@ func run() int {
 		streamMaxFrames = flag.Uint64("stream-max-frames", 16<<20, "per-stream frame quota")
 		streamDuty      = flag.Int("stream-duty", 100, "default duty %% for detect=online sessions (1-100)")
 		streamWorkers   = flag.Int("stream-workers", 0, "per-session online ingest workers (0 = min(4, NumCPU))")
+
+		registry    = flag.Bool("registry", false, "serve as the fleet registry workers announce to (PROTOCOL.md §7)")
+		register    = flag.String("register", "", "fleet registry base URL to announce this worker to (e.g. http://reg:8080)")
+		advertise   = flag.String("advertise", "", "URL to announce to the registry (default: derived from -addr)")
+		registerTTL = flag.Duration("register-ttl", 15*time.Second, "registration TTL; heartbeats fire every TTL/3")
 	)
 	flag.Parse()
 
@@ -108,6 +207,16 @@ func run() int {
 		*streams, *streamIdle, *streamMaxBytes, *streamMaxFrames, *streamDuty, *streamWorkers); err != nil {
 		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
 		flag.Usage()
+		return 2
+	}
+	if err := validateFleetFlags(*register, *advertise, *registerTTL); err != nil {
+		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+	chaosSpec, err := chaos.FromEnv()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cordd: %v\n", err)
 		return 2
 	}
 
@@ -122,6 +231,7 @@ func run() int {
 		MaxStreamFrames:   *streamMaxFrames,
 		StreamDuty:        *streamDuty,
 		StreamWorkers:     *streamWorkers,
+		Chaos:             chaosSpec,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -131,6 +241,22 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if chaosSpec.Active() {
+		log.Printf("cordd: %s", chaosSpec)
+	}
+	if *registry {
+		log.Printf("cordd: serving as fleet registry (POST /v1/fleet/register, GET /v1/fleet/workers)")
+	}
+	if *register != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseURL(*addr)
+		}
+		log.Printf("cordd: announcing %s to registry %s (ttl %v)", adv, *register, *registerTTL)
+		go heartbeat(ctx, &http.Client{Timeout: 5 * time.Second},
+			strings.TrimRight(*register, "/"), adv, srv.Metrics().Workers, *registerTTL)
+	}
 
 	errc := make(chan error, 1)
 	go func() {

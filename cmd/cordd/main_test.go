@@ -57,3 +57,44 @@ func TestValidateFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateFleetFlags: the §7 membership flags reject relative URLs, a
+// dangling -advertise, and out-of-range TTLs before the process binds.
+func TestValidateFleetFlags(t *testing.T) {
+	const s = 15 * time.Second
+	cases := []struct {
+		name                string
+		register, advertise string
+		ttl                 time.Duration
+		wantErr             bool
+	}{
+		{"no fleet flags", "", "", s, false},
+		{"register only", "http://reg:8080", "", s, false},
+		{"register and advertise", "http://reg:8080", "http://w1:9001", s, false},
+		{"https registry", "https://reg", "", s, false},
+		{"relative registry", "reg:8080", "", s, true},
+		{"non-http registry", "ftp://reg:8080", "", s, true},
+		{"relative advertise", "http://reg:8080", "w1:9001", s, true},
+		{"advertise without register", "", "http://w1:9001", s, true},
+		{"ttl too small", "http://reg:8080", "", 500 * time.Millisecond, true},
+		{"ttl too large", "http://reg:8080", "", 301 * time.Second, true},
+		{"ttl bounds", "http://reg:8080", "", 300 * time.Second, false},
+	}
+	for _, tc := range cases {
+		err := validateFleetFlags(tc.register, tc.advertise, tc.ttl)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFleetFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestAdvertiseURL: a bare ":port" bind derives a loopback URL; a host:port
+// bind is used as given.
+func TestAdvertiseURL(t *testing.T) {
+	if got := advertiseURL(":9001"); got != "http://127.0.0.1:9001" {
+		t.Errorf("advertiseURL(\":9001\") = %q", got)
+	}
+	if got := advertiseURL("10.0.0.5:9001"); got != "http://10.0.0.5:9001" {
+		t.Errorf("advertiseURL host:port = %q", got)
+	}
+}

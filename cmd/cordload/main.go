@@ -33,6 +33,13 @@
 // would just diverge), then streamed with detect=online at each duty point.
 // The duty=0 row is the ingest baseline; duty=100 prices full mid-stream
 // detection. -perf-out records the sweep as the "streaming-online" slice.
+//
+// With -progress http://coordinator:9090, cordload instead follows a running
+// distributed campaign: it polls the coordinator's GET /v1/campaign/progress
+// resource (PROTOCOL.md §7, served by cordbench -progress-addr) every
+// -progress-interval and prints one status line per poll — cells done, shard
+// steals/requeues, per-worker health — exiting 0 once the campaign reports
+// complete (or the coordinator, its work done, goes away).
 package main
 
 import (
@@ -156,8 +163,20 @@ func run() int {
 		chunk    = flag.Int("chunk", 64<<10, "upload chunk size in bytes (with -stream)")
 		duty     = flag.String("duty", "", "comma-separated duty percentages: sweep detect=online at each (with -stream)")
 		perfOut  = flag.String("perf-out", "", "merge the best -stream stage into this BENCH_perf.json")
+
+		progressURL = flag.String("progress", "", "poll this coordinator's GET /v1/campaign/progress until the campaign completes (PROTOCOL.md §7)")
+		progressInt = flag.Duration("progress-interval", time.Second, "poll cadence for -progress")
 	)
 	flag.Parse()
+
+	if *progressURL != "" {
+		if *progressInt <= 0 {
+			fmt.Fprintf(os.Stderr, "cordload: -progress-interval must be positive\n")
+			flag.Usage()
+			return 2
+		}
+		return watchProgress(&http.Client{Timeout: *timeout}, *progressURL, *progressInt)
+	}
 
 	if err := validateFlags(*n, *scale, *threads, *d, *retries, *retryCap); err != nil {
 		fmt.Fprintf(os.Stderr, "cordload: %v\n", err)
@@ -182,7 +201,9 @@ func run() int {
 		return 1
 	}
 
-	policy := httpretry.Policy{Attempts: *retries, Fallback: 250 * time.Millisecond, Cap: *retryCap}
+	// Jittered per session key, so a stage's worth of throttled clients does
+	// not re-dogpile the server on the same fallback schedule.
+	policy := httpretry.Policy{Attempts: *retries, Fallback: 250 * time.Millisecond, Cap: *retryCap, Jitter: 0.5}
 	if *stream {
 		p := streamParams{
 			app: *app, seed: *seed, scale: *scale, threads: *threads, frames: *frames, chunk: *chunk,
@@ -265,7 +286,8 @@ func runStage(client *http.Client, addr string, c, n int, policy httpretry.Polic
 					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.Attempts:
 						res.retries++
 						throttled = true
-						sleep = policy.RetryAfter(resp.Header.Get("Retry-After"), attempt)
+						sleep = policy.RetryAfterKeyed(resp.Header.Get("Retry-After"),
+							fmt.Sprintf("%s|%d", addr, i), attempt)
 					default: // non-429 failure, or throttled out of attempts
 						res.errors++
 					}
@@ -436,7 +458,8 @@ func runStreamStage(client *http.Client, addr, query string, c, n int, policy ht
 		go func() {
 			defer wg.Done()
 			for {
-				if next.Add(1)-1 >= int64(n) {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
 				for attempt := 1; ; attempt++ {
@@ -456,7 +479,8 @@ func runStreamStage(client *http.Client, addr, query string, c, n int, policy ht
 					case resp.StatusCode == http.StatusTooManyRequests && attempt < policy.Attempts:
 						res.retries++
 						throttled = true
-						sleep = policy.RetryAfter(resp.Header.Get("Retry-After"), attempt)
+						sleep = policy.RetryAfterKeyed(resp.Header.Get("Retry-After"),
+							fmt.Sprintf("%s|%d", addr, i), attempt)
 					default:
 						res.errors++
 					}
@@ -600,6 +624,74 @@ func mergeStreamingPerf(path string, s *perf.StreamingPerf) error {
 	}
 	r.Streaming = s
 	return perf.Write(path, r)
+}
+
+// progressReport and progressWorker mirror the coordinator's §7 progress
+// resource on the wire, like detectRequest does for /v1/detect: cordload
+// stays a pure wire client.
+type progressReport struct {
+	Schema         int              `json:"schema"`
+	Campaign       string           `json:"campaign"`
+	Fingerprint    string           `json:"fingerprint"`
+	CellsDone      int              `json:"cells_done"`
+	CellsTotal     int              `json:"cells_total"`
+	ShardsStolen   int              `json:"shards_stolen"`
+	ShardsRequeued int              `json:"shards_requeued"`
+	Workers        []progressWorker `json:"workers"`
+}
+
+type progressWorker struct {
+	URL            string  `json:"url"`
+	Health         string  `json:"health"`
+	ShardsDone     int     `json:"shards_done"`
+	ShardsQueued   int     `json:"shards_queued"`
+	ShardsInFlight int     `json:"shards_in_flight"`
+	LatencyEwmaMs  float64 `json:"latency_ewma_ms"`
+}
+
+// watchProgress polls a coordinator's campaign-progress resource until the
+// campaign reports every cell done. The coordinator serves the resource only
+// while it dispatches, so once at least one poll has succeeded, a vanished
+// endpoint means the campaign ended — reported as such, exit 0. A coordinator
+// that never answers is exit 1.
+func watchProgress(client *http.Client, base string, interval time.Duration) int {
+	url := strings.TrimRight(base, "/")
+	if !strings.HasSuffix(url, "/v1/campaign/progress") {
+		url += "/v1/campaign/progress"
+	}
+	seen := false
+	for {
+		b, err := fetch(client, url)
+		if err != nil {
+			if seen {
+				fmt.Printf("coordinator at %s gone; campaign ended\n", base)
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "cordload: polling %s: %v\n", url, err)
+			return 1
+		}
+		var p progressReport
+		if err := json.Unmarshal(b, &p); err != nil {
+			fmt.Fprintf(os.Stderr, "cordload: unparsable progress from %s: %v\n", url, err)
+			return 1
+		}
+		if !seen {
+			fmt.Printf("campaign %s (fingerprint %s): %d cells\n", p.Campaign, p.Fingerprint, p.CellsTotal)
+			seen = true
+		}
+		healths := map[string]int{}
+		for _, w := range p.Workers {
+			healths[w.Health]++
+		}
+		fmt.Printf("%d/%d cells  workers live=%d suspect=%d dead=%d  stolen=%d requeued=%d\n",
+			p.CellsDone, p.CellsTotal, healths["live"], healths["suspect"], healths["dead"],
+			p.ShardsStolen, p.ShardsRequeued)
+		if p.CellsTotal > 0 && p.CellsDone >= p.CellsTotal {
+			fmt.Println("campaign complete")
+			return 0
+		}
+		time.Sleep(interval)
+	}
 }
 
 func fetch(client *http.Client, url string) ([]byte, error) {

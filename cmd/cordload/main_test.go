@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -222,5 +223,61 @@ func TestQuantile(t *testing.T) {
 	}
 	if q := quantile(sorted, 0.0); q != 1 {
 		t.Fatalf("quantile(min) = %v, want 1", q)
+	}
+}
+
+// TestWatchProgress drives the -progress mode through its lifecycle: an
+// in-flight poll, a completed campaign (exit 0), and a coordinator that
+// vanishes after serving at least one poll (also exit 0 — the campaign ended
+// and took its progress endpoint with it).
+func TestWatchProgress(t *testing.T) {
+	var polls int
+	var ts *httptest.Server
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/campaign/progress" {
+			http.NotFound(w, r)
+			return
+		}
+		polls++
+		done := 3
+		if polls == 1 {
+			done = 1
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"schema":1,"campaign":"bench-f","fingerprint":"f","cells_done":%d,"cells_total":3,"shards_stolen":1,"shards_requeued":0,"workers":[{"url":"http://a","health":"live","shards_done":2,"shards_queued":0,"shards_in_flight":1,"latency_ewma_ms":4.5}]}`, done)
+	}))
+	t.Cleanup(ts.Close)
+
+	if code := watchProgress(ts.Client(), ts.URL, time.Millisecond); code != 0 {
+		t.Fatalf("watchProgress on completing campaign = %d, want 0", code)
+	}
+	if polls < 2 {
+		t.Fatalf("watched %d polls, want at least 2 (one in-flight, one complete)", polls)
+	}
+
+	// Coordinator vanishing after a successful poll reads as campaign end.
+	var once sync.Once
+	gone := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served := false
+		once.Do(func() {
+			served = true
+			io.WriteString(w, `{"schema":1,"campaign":"c","fingerprint":"f","cells_done":0,"cells_total":9,"workers":[]}`)
+		})
+		if !served {
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close() // simulate the process going away mid-poll
+		}
+	}))
+	t.Cleanup(gone.Close)
+	if code := watchProgress(gone.Client(), gone.URL, time.Millisecond); code != 0 {
+		t.Fatalf("watchProgress on vanished coordinator = %d, want 0", code)
+	}
+
+	// A coordinator that never answers is a hard error.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	client := dead.Client()
+	dead.Close()
+	if code := watchProgress(client, dead.URL, time.Millisecond); code != 1 {
+		t.Fatalf("watchProgress on dead coordinator = %d, want 1", code)
 	}
 }

@@ -23,6 +23,19 @@
 //	crash-after=K   after K successful run completions in this process, print
 //	                a marker to stderr and os.Exit(CrashExitCode) without any
 //	                cleanup — the in-process stand-in for kill -9.
+//	worker-kill=P   in a cordd worker, die (marker to stderr, then
+//	                os.Exit(CrashExitCode) with no cleanup) after a fraction P
+//	                of completed campaign shards, before the response is
+//	                written — the coordinator sees a dropped connection, not a
+//	                clean error. The decision stream is deterministic in
+//	                (seed, shard-completion index), so a pinned seed replays
+//	                the same kill schedule.
+//	worker-restart-delay=D
+//	                how long a killed worker's supervisor should wait before
+//	                restarting it (a duration; default 1s). Chaos itself never
+//	                restarts anything — the knob travels in CORD_CHAOS so one
+//	                spec pins the whole kill/restart schedule, and harnesses
+//	                (scripts/fleet-chaos-smoke.sh) read it via RestartDelay.
 //	seed=N          vary which runs are chosen (default 1).
 package chaos
 
@@ -34,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // EnvVar is the environment variable FromEnv reads.
@@ -67,15 +81,18 @@ func (e *runError) Is(target error) bool { return target == ErrInjected }
 // injects nothing; methods on a nil *Chaos are safe and inject nothing, so
 // callers thread it through unconditionally.
 type Chaos struct {
-	runFail     float64
-	journalFail float64
-	crashAfter  int
-	seed        uint64
+	runFail      float64
+	journalFail  float64
+	crashAfter   int
+	workerKill   float64
+	restartDelay time.Duration
+	seed         uint64
 
 	mu        sync.Mutex
 	attempts  map[string]int // run key -> failed attempts so far
 	completed int
 	journalN  uint64 // journal-append decision counter
+	shardN    uint64 // worker-kill decision counter (completed shards)
 
 	// exit is os.Exit, a field so tests can observe crashes without dying.
 	exit func(int)
@@ -88,23 +105,32 @@ func Parse(spec string) (*Chaos, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	c := &Chaos{seed: 1, crashAfter: -1, attempts: make(map[string]int), exit: os.Exit}
+	c := &Chaos{seed: 1, crashAfter: -1, restartDelay: time.Second, attempts: make(map[string]int), exit: os.Exit}
 	for _, part := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
 			return nil, fmt.Errorf("chaos: %q is not key=value", part)
 		}
 		switch key {
-		case "run-fail", "journal-fail":
+		case "run-fail", "journal-fail", "worker-kill":
 			p, err := strconv.ParseFloat(val, 64)
 			if err != nil || p < 0 || p > 1 {
 				return nil, fmt.Errorf("chaos: %s must be a probability in [0,1], got %q", key, val)
 			}
-			if key == "run-fail" {
+			switch key {
+			case "run-fail":
 				c.runFail = p
-			} else {
+			case "journal-fail":
 				c.journalFail = p
+			case "worker-kill":
+				c.workerKill = p
 			}
+		case "worker-restart-delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("chaos: worker-restart-delay must be a positive duration, got %q", val)
+			}
+			c.restartDelay = d
 		case "crash-after":
 			k, err := strconv.Atoi(val)
 			if err != nil || k < 1 {
@@ -118,7 +144,7 @@ func Parse(spec string) (*Chaos, error) {
 			}
 			c.seed = s
 		default:
-			return nil, fmt.Errorf("chaos: unknown knob %q (want run-fail, journal-fail, crash-after, seed)", key)
+			return nil, fmt.Errorf("chaos: unknown knob %q (want run-fail, journal-fail, crash-after, worker-kill, worker-restart-delay, seed)", key)
 		}
 	}
 	return c, nil
@@ -131,10 +157,24 @@ func FromEnv() (*Chaos, error) {
 }
 
 // draw is a deterministic uniform draw in [0,1) from (seed, label, n).
+//
+// The FNV state is passed through a 64-bit avalanche finalizer before use:
+// FNV-1a's final byte only reaches the high bits through one multiply, so for
+// sequential counters (journal appends, shard completions) the last decimal
+// digit of n barely moves the draw — ten consecutive n values land within
+// 1e-7 of each other and a probability knob degrades to deciding in blocks of
+// ten. The finalizer restores per-increment independence while keeping the
+// draw a pure function of (seed, label, n).
 func (c *Chaos) draw(label string, n uint64) float64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%d", c.seed, label, n)
-	return float64(h.Sum64()>>11) / float64(1<<53)
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / float64(1<<53)
 }
 
 // RunFault decides whether the attempt-th try (1-based) of the run named by
@@ -200,9 +240,44 @@ func (c *Chaos) RunCompleted() {
 	}
 }
 
+// ShardCompleted records one completed campaign shard in a cordd worker and,
+// when worker-kill is armed and this completion draws a kill, terminates the
+// process abruptly — marker to stderr, os.Exit(CrashExitCode), no cleanup, no
+// response written. The draw is deterministic in (seed, completion index):
+// the same spec kills after the same shards, so a chaos harness with a pinned
+// seed replays an identical schedule. The coordinator observes a dropped
+// connection mid-request, exactly what a kill -9 produces, and must recover
+// through §6/§7 idempotency: retry, declare the worker dead, requeue.
+func (c *Chaos) ShardCompleted() {
+	if c == nil || c.workerKill <= 0 {
+		return
+	}
+	c.mu.Lock()
+	n := c.shardN
+	c.shardN++
+	kill := c.draw("worker-kill", n) < c.workerKill
+	exit := c.exit
+	c.mu.Unlock()
+	if kill {
+		fmt.Fprintf(os.Stderr, "chaos: killing worker after shard completion %d\n", n)
+		exit(CrashExitCode)
+	}
+}
+
+// RestartDelay is how long a supervisor should wait before restarting a
+// worker the worker-kill knob took down (1s unless worker-restart-delay says
+// otherwise). Meaningful only alongside worker-kill; harnesses read it so the
+// whole kill/restart schedule is pinned by the one CORD_CHAOS spec.
+func (c *Chaos) RestartDelay() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.restartDelay
+}
+
 // Active reports whether any fault is armed (false for nil).
 func (c *Chaos) Active() bool {
-	return c != nil && (c.runFail > 0 || c.journalFail > 0 || c.crashAfter > 0)
+	return c != nil && (c.runFail > 0 || c.journalFail > 0 || c.crashAfter > 0 || c.workerKill > 0)
 }
 
 // String summarizes the armed faults for startup logging.
@@ -219,6 +294,9 @@ func (c *Chaos) String() string {
 	}
 	if c.crashAfter > 0 {
 		parts = append(parts, fmt.Sprintf("crash-after=%d", c.crashAfter))
+	}
+	if c.workerKill > 0 {
+		parts = append(parts, fmt.Sprintf("worker-kill=%g worker-restart-delay=%v", c.workerKill, c.restartDelay))
 	}
 	if len(parts) == 0 {
 		return "chaos: off"

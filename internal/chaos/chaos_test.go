@@ -145,3 +145,76 @@ func TestString(t *testing.T) {
 		t.Fatalf("String = %q, want %q", got, want)
 	}
 }
+
+// TestParseWorkerKill: the fleet knobs parse, report active, and land in
+// String; bad values are rejected like every other knob.
+func TestParseWorkerKill(t *testing.T) {
+	c, err := Parse("worker-kill=0.25,worker-restart-delay=750ms,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.workerKill != 0.25 || c.restartDelay.String() != "750ms" || c.seed != 9 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if !c.Active() {
+		t.Fatal("armed worker-kill reports inactive")
+	}
+	if want := "chaos: worker-kill=0.25 worker-restart-delay=750ms seed=9"; c.String() != want {
+		t.Fatalf("String = %q, want %q", c.String(), want)
+	}
+	if c.RestartDelay().String() != "750ms" {
+		t.Fatalf("RestartDelay = %v", c.RestartDelay())
+	}
+
+	if c, _ := Parse("worker-kill=0.5"); c.RestartDelay().String() != "1s" {
+		t.Fatalf("default RestartDelay = %v, want 1s", c.RestartDelay())
+	}
+	var nilC *Chaos
+	nilC.ShardCompleted() // must be a safe no-op
+	if nilC.RestartDelay() != 0 {
+		t.Fatal("nil RestartDelay != 0")
+	}
+
+	for _, bad := range []string{
+		"worker-kill=1.5", "worker-kill=-0.1", "worker-kill=x", "worker-kill",
+		"worker-restart-delay=0", "worker-restart-delay=-1s", "worker-restart-delay=x",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+// TestShardCompletedKillSchedule: the kill decision stream is a pure function
+// of (seed, completion index) — two instances with the same spec kill after
+// identical shard counts, a different seed picks a different schedule, and
+// the observed kill rate tracks the probability.
+func TestShardCompletedKillSchedule(t *testing.T) {
+	schedule := func(spec string, n int) []int {
+		c, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kills []int
+		c.exit = func(int) { kills = append(kills, int(c.shardN)-1) }
+		for i := 0; i < n; i++ {
+			c.ShardCompleted()
+		}
+		return kills
+	}
+	a := schedule("worker-kill=0.3,seed=4", 200)
+	b := schedule("worker-kill=0.3,seed=4", 200)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same spec, different kill schedules: %v vs %v", a, b)
+	}
+	if len(a) < 30 || len(a) > 90 {
+		t.Fatalf("%d of 200 completions drew a kill at P=0.3; want roughly 60", len(a))
+	}
+	other := schedule("worker-kill=0.3,seed=5", 200)
+	if fmt.Sprint(a) == fmt.Sprint(other) {
+		t.Fatal("seed does not vary the kill schedule")
+	}
+	if none := schedule("run-fail=0.5", 200); len(none) != 0 {
+		t.Fatalf("worker-kill unarmed but %d kills fired", len(none))
+	}
+}

@@ -10,6 +10,8 @@
 package httpretry
 
 import (
+	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,6 +31,11 @@ type Policy struct {
 	Fallback time.Duration
 	// Cap bounds any single sleep, whatever its source.
 	Cap time.Duration
+	// Jitter spreads the doubling fallback downward by up to this fraction,
+	// deterministically keyed on (key, attempt) — see BackoffKeyed. Zero
+	// disables jitter. Server-provided Retry-After hints are never jittered:
+	// the server asked for that delay.
+	Jitter float64
 }
 
 // RetryAfter converts one response's Retry-After header into the sleep
@@ -42,25 +49,24 @@ type Policy struct {
 // fallback; conflating the two made a skewed but well-behaved server look
 // like one asking for ever-longer backoff.
 func (p Policy) RetryAfter(header string, attempt int) time.Duration {
+	return p.RetryAfterKeyed(header, "", attempt)
+}
+
+// RetryAfterKeyed is RetryAfter with a jitter key: when the header is absent
+// or unparseable, the doubling fallback is jittered per BackoffKeyed. A
+// parsed header is honored verbatim (clamped to Cap) — jitter exists to
+// de-synchronize clients that got no server guidance, not to second-guess
+// clients that did.
+func (p Policy) RetryAfterKeyed(header, key string, attempt int) time.Duration {
 	var d time.Duration
-	parsed := false
 	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
 		d = time.Duration(secs) * time.Second
-		parsed = true
 	} else if at, err := http.ParseTime(header); err == nil {
 		if d = time.Until(at); d < 0 {
 			d = 0
 		}
-		parsed = true
-	}
-	if !parsed {
-		d = p.Fallback
-		for i := 1; i < attempt; i++ {
-			d *= 2
-			if d >= p.Cap {
-				break
-			}
-		}
+	} else {
+		return p.BackoffKeyed(key, attempt)
 	}
 	if d > p.Cap {
 		d = p.Cap
@@ -74,5 +80,41 @@ func (p Policy) RetryAfter(header string, attempt int) time.Duration {
 // [0, Cap]. It equals RetryAfter with an empty header and exists so call
 // sites retrying non-429 failures don't fabricate a fake header to say so.
 func (p Policy) Backoff(attempt int) time.Duration {
-	return p.RetryAfter("", attempt)
+	return p.BackoffKeyed("", attempt)
+}
+
+// BackoffKeyed is Backoff with deterministic de-synchronizing jitter: the
+// capped-doubling delay, shrunk by up to Jitter (a fraction of the delay)
+// drawn from an FNV-1a hash of (key, attempt). Callers key on something that
+// differs between clients racing the same event — the request URL is the
+// natural choice — so that a re-shard storm after a worker death does not
+// march every survivor's retries into the fleet in lockstep.
+//
+// Jitter is subtractive, never additive: the result always stays within
+// [d·(1−Jitter), d] for the unjittered delay d, so the documented [0, Cap]
+// bound holds and — unlike additive jitter — delays pinned at Cap still
+// spread out instead of re-synchronizing at the clamp. The draw is a pure
+// function of (key, attempt): retry schedules reproduce exactly under test
+// and across process restarts, the same determinism-by-hashing idiom the
+// campaign runner's retry delay and the chaos injector use.
+func (p Policy) BackoffKeyed(key string, attempt int) time.Duration {
+	d := p.Fallback
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.Cap {
+			break
+		}
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	if p.Jitter > 0 && d > 0 {
+		span := time.Duration(p.Jitter * float64(d))
+		if span > 0 {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s|%d", key, attempt)
+			d -= time.Duration(h.Sum64() % uint64(span+1))
+		}
+	}
+	return d
 }

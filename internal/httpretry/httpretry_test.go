@@ -65,3 +65,67 @@ func TestBackoff(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffKeyedJitterBounds: with Jitter armed, every keyed fallback delay
+// stays within [d·(1−Jitter), d] of the unjittered schedule — including at
+// the Cap clamp, where subtractive jitter must still spread delays instead of
+// re-synchronizing every client at exactly Cap.
+func TestBackoffKeyedJitterBounds(t *testing.T) {
+	p := Policy{Attempts: 5, Fallback: 100 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.5}
+	base := Policy{Attempts: p.Attempts, Fallback: p.Fallback, Cap: p.Cap} // jitter-free reference
+	keys := []string{"", "http://w1:8080", "http://w2:8080", "http://w3:8080", "v2|detect-inject|x|app=0|run=3"}
+	cases := []struct {
+		name    string
+		attempt int
+	}{
+		{"first attempt", 1},
+		{"second attempt", 2},
+		{"doubling attempt", 4},
+		{"capped attempt", 8},
+		{"deep capped attempt", 20},
+	}
+	for _, tc := range cases {
+		d := base.Backoff(tc.attempt)
+		lo := time.Duration(float64(d) * (1 - p.Jitter))
+		for _, key := range keys {
+			got := p.BackoffKeyed(key, tc.attempt)
+			if got < lo || got > d {
+				t.Errorf("%s: BackoffKeyed(%q, %d) = %v, want within [%v, %v]", tc.name, key, tc.attempt, got, lo, d)
+			}
+			if again := p.BackoffKeyed(key, tc.attempt); again != got {
+				t.Errorf("%s: BackoffKeyed(%q, %d) not deterministic: %v then %v", tc.name, key, tc.attempt, got, again)
+			}
+		}
+	}
+}
+
+// TestBackoffKeyedSpreadsKeys: distinct keys must actually land on distinct
+// delays (that is the whole point), and a malformed header must route through
+// the same keyed jitter as a missing one.
+func TestBackoffKeyedSpreadsKeys(t *testing.T) {
+	p := Policy{Attempts: 5, Fallback: time.Second, Cap: 8 * time.Second, Jitter: 0.5}
+	seen := map[time.Duration]bool{}
+	for _, key := range []string{"http://a", "http://b", "http://c", "http://d"} {
+		seen[p.BackoffKeyed(key, 3)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("4 keys produced %d distinct delays; jitter ignores the key and retries would thundering-herd", len(seen))
+	}
+	if got, want := p.RetryAfterKeyed("garbage", "http://a", 3), p.BackoffKeyed("http://a", 3); got != want {
+		t.Fatalf("RetryAfterKeyed with malformed header = %v, want the keyed fallback %v", got, want)
+	}
+	if got := p.RetryAfterKeyed("2", "http://a", 3); got != 2*time.Second {
+		t.Fatalf("RetryAfterKeyed with a parsed header = %v, want the server's verbatim 2s (never jittered)", got)
+	}
+}
+
+// TestZeroJitterIsExact: Jitter 0 (the zero value every pre-jitter caller
+// has) must reproduce the old schedule bit-for-bit.
+func TestZeroJitterIsExact(t *testing.T) {
+	p := Policy{Attempts: 5, Fallback: 50 * time.Millisecond, Cap: time.Second}
+	for attempt := 1; attempt <= 8; attempt++ {
+		if got, want := p.BackoffKeyed("http://a", attempt), p.Backoff(attempt); got != want {
+			t.Errorf("BackoffKeyed(%d) = %v with zero jitter, want %v", attempt, got, want)
+		}
+	}
+}

@@ -33,6 +33,14 @@
 //	                   and returns its outcome cells keyed by run identity;
 //	                   re-sent shards answer byte-identically. See
 //	                   PROTOCOL.md §6.
+//	POST /v1/fleet/register
+//	                 — registers (or heartbeats) a worker in the fleet
+//	                   registry; registrations expire after their TTL
+//	                   without a heartbeat. See PROTOCOL.md §7.
+//	GET  /v1/fleet/workers
+//	                 — lists the live registered workers; coordinators
+//	                   resolve their worker set here when run with
+//	                   -registry. See PROTOCOL.md §7.
 //	GET  /healthz    — liveness/readiness (503 while draining).
 //	GET  /metrics    — cumulative Metrics counters and latency histograms.
 //

@@ -69,6 +69,13 @@ type CampaignShardRequest struct {
 	Options     experiment.CampaignMeta `json:"options"`
 	// Ranges are the half-open [lo, hi) injection-run ranges to execute.
 	Ranges []experiment.ShardRange `json:"ranges"`
+	// Origin records why the coordinator routed this shard here: "" for
+	// planned placement, "steal" when a faster worker stole it from a slow
+	// peer's queue, "requeue" when it was rescued from a dead worker
+	// (PROTOCOL.md §7). Origin is observability only — it feeds the worker's
+	// fleet metrics and is deliberately excluded from the shard content hash,
+	// so a stolen re-send of a planned shard is still idempotent, not a 409.
+	Origin string `json:"origin,omitempty"`
 }
 
 // CampaignShardResponse carries the shard's outcome cells in canonical
@@ -147,6 +154,17 @@ func (s *Server) handleCampaignShard(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%w: campaign and shard_id must match %s", ErrBadRequest, identRe))
 		return
 	}
+	switch req.Origin {
+	case "":
+	case "steal":
+		s.m.bumpFleet(func(c *FleetCounters) { c.ShardsStolen++ })
+	case "requeue":
+		s.m.bumpFleet(func(c *FleetCounters) { c.ShardsRequeued++ })
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: origin must be \"\", \"steal\" or \"requeue\", got %q", ErrBadRequest, req.Origin))
+		return
+	}
 	opts, err := campaignOptions(req.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -183,6 +201,11 @@ func (s *Server) handleCampaignShard(w http.ResponseWriter, r *http.Request) {
 		default:
 			return nil, err
 		}
+		// Worker-kill chaos fires here — after the shard's cells exist but
+		// before any response byte is written — so the coordinator sees the
+		// dropped connection a mid-request kill -9 produces and must recover
+		// through retry, requeue, or steal.
+		s.cfg.Chaos.ShardCompleted()
 		return &CampaignShardResponse{
 			Schema:      SchemaVersion,
 			Campaign:    req.Campaign,

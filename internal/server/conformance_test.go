@@ -12,12 +12,13 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
-// PROTOCOL.md §6 declares its JSON examples to be verbatim wire bytes and
-// promises that the test suite replays them. This test is that promise: it
-// extracts every `<!-- conformance:... -->`-marked example from the spec, in
-// document order, sends the requests against a real server, and
+// PROTOCOL.md §6 and §7 declare their JSON examples to be verbatim wire
+// bytes and promise that the test suite replays them. This test is that
+// promise: it extracts every `<!-- conformance:... -->`-marked example from
+// the spec, in document order, sends the requests against a real server, and
 // byte-compares the responses. A drift between spec and implementation fails
 // here, with instructions pointing at whichever side is wrong.
 //
@@ -27,9 +28,11 @@ import (
 //	<!-- conformance:response <name> <status> -->
 //	<!-- conformance:request <name> <method> <path> = <other> -->   (reuse <other>'s body)
 //	<!-- conformance:response <name> <status> = <other> -->         (expect <other>'s body)
+//	<!-- conformance:request <name> <method> <path> - -->           (no body: GET etc.)
 //
-// The `= other` forms carry no fence: they express idempotency ("re-sending
-// the shard answers byte-identically") without duplicating a long example.
+// The `= other` and trailing `-` forms carry no fence: the former expresses
+// idempotency ("re-sending the shard answers byte-identically") without
+// duplicating a long example, the latter a body-less request.
 
 type conformanceExample struct {
 	name     string
@@ -100,8 +103,13 @@ func parseConformance(t *testing.T, spec []byte) []conformanceExample {
 			ref = fields[n-1]
 			fields = fields[:n-2]
 		}
+		noBody := false
+		if n := len(fields); fields[n-1] == "-" {
+			noBody = true
+			fields = fields[:n-1]
+		}
 		var body []byte
-		if ref == "" {
+		if ref == "" && !noBody {
 			var end int
 			body, end = fenceAfter(i)
 			if body == nil {
@@ -159,21 +167,45 @@ func parseConformance(t *testing.T, spec []byte) []conformanceExample {
 	return examples
 }
 
-// TestProtocolConformance replays every marked §6 example against a real
-// server, in document order (order matters: the conflict example depends on
-// the shard example having registered its id first).
+// TestProtocolConformance replays every marked §6 and §7 example against a
+// real server, in document order (order matters: the conflict example depends
+// on the shard example having registered its id first, and the §7 listing on
+// the registrations before it).
+//
+// The server clock is frozen: §7's registry examples promise exact
+// expires_in_seconds values, which lazy TTL pruning makes deterministic under
+// a fixed now. The §7 progress resource is a coordinator endpoint, not a
+// worker one, so the test mounts ProgressHandler over the spec's fixture
+// snapshot beside the worker mux — exactly how cordbench serves it.
 func TestProtocolConformance(t *testing.T) {
 	spec, err := os.ReadFile(filepath.Join("..", "..", "PROTOCOL.md"))
 	if err != nil {
 		t.Fatalf("reading the spec: %v", err)
 	}
 	examples := parseConformance(t, spec)
-	if len(examples) < 5 {
-		t.Fatalf("found only %d conformance examples in PROTOCOL.md; the §6 markers have been damaged", len(examples))
+	if len(examples) < 10 {
+		t.Fatalf("found only %d conformance examples in PROTOCOL.md; the §6/§7 markers have been damaged", len(examples))
 	}
 
 	srv := New(Config{Workers: 2})
-	ts := httptest.NewServer(srv)
+	srv.now = func() time.Time { return time.Unix(1700000000, 0) }
+	mux := http.NewServeMux()
+	mux.Handle("/v1/campaign/progress", ProgressHandler(func() CampaignProgress {
+		return CampaignProgress{
+			Campaign:       "paper-repro",
+			Fingerprint:    "976adcbc7ab77749",
+			CellsDone:      2,
+			CellsTotal:     3,
+			ShardsStolen:   1,
+			ShardsRequeued: 2,
+			Workers: []ProgressWorker{
+				{URL: "http://worker-b:8080", Health: WorkerDead, LatencyEwmaMs: 40},
+				{URL: "http://worker-a:8080", Health: WorkerLive, ShardsDone: 1, ShardsInFlight: 1, LatencyEwmaMs: 12.5},
+			},
+		}
+	}))
+	mux.Handle("/", srv)
+	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
 	for _, ex := range examples {

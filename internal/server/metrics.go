@@ -85,6 +85,27 @@ type StreamCounters struct {
 	OnlineDivergences uint64 `json:"online_divergences"`
 }
 
+// FleetCounters are the cumulative fleet-membership and shard-recovery
+// counters. The registry counters move on any cordd serving as a registry;
+// the shard counters move on workers, counting shards whose requests declare
+// a steal or requeue origin (PROTOCOL.md §7). The block is present — zeroed —
+// on every server, keeping /metrics bodies structurally identical.
+type FleetCounters struct {
+	// LiveWorkers is a gauge: registrations currently alive (not expired).
+	LiveWorkers int `json:"live_workers"`
+	// WorkersRegistered counts registrations of previously-unknown URLs.
+	WorkersRegistered uint64 `json:"workers_registered"`
+	// HeartbeatsReceived counts re-registrations of already-known URLs.
+	HeartbeatsReceived uint64 `json:"heartbeats_received"`
+	// WorkersExpired counts registrations pruned after their TTL lapsed
+	// (including best-effort evictions of a full registry).
+	WorkersExpired uint64 `json:"workers_expired"`
+	// ShardsStolen / ShardsRequeued count executed shards that arrived with
+	// origin "steal" / "requeue".
+	ShardsStolen   uint64 `json:"shards_stolen"`
+	ShardsRequeued uint64 `json:"shards_requeued"`
+}
+
 // Metrics is the GET /metrics body: a schema-versioned snapshot of the
 // cumulative counters, following the internal/experiment JSON conventions
 // (fixed field order; map keys sort, so equal states encode to equal bytes).
@@ -96,6 +117,7 @@ type Metrics struct {
 	QueueCapacity int                  `json:"queue_capacity"`
 	Sessions      SessionCounters      `json:"sessions"`
 	Streams       StreamCounters       `json:"streams"`
+	Fleet         FleetCounters        `json:"fleet"`
 	Endpoints     map[string]Histogram `json:"endpoints"`
 }
 
@@ -104,6 +126,7 @@ type metrics struct {
 	mu        sync.Mutex
 	sessions  SessionCounters
 	streams   StreamCounters
+	fleet     FleetCounters
 	endpoints map[string]*hist
 }
 
@@ -132,6 +155,13 @@ func (m *metrics) bump(fn func(*SessionCounters)) {
 func (m *metrics) bumpStream(fn func(*StreamCounters)) {
 	m.mu.Lock()
 	fn(&m.streams)
+	m.mu.Unlock()
+}
+
+// bumpFleet applies fn to the fleet counter set under the lock.
+func (m *metrics) bumpFleet(fn func(*FleetCounters)) {
+	m.mu.Lock()
+	fn(&m.fleet)
 	m.mu.Unlock()
 }
 
@@ -190,6 +220,7 @@ func (m *metrics) snapshot(uptime time.Duration, workers, queueDepth, queueCap i
 		QueueCapacity: queueCap,
 		Sessions:      m.sessions,
 		Streams:       m.streams,
+		Fleet:         m.fleet,
 		Endpoints:     make(map[string]Histogram, len(m.endpoints)),
 	}
 	for ep, h := range m.endpoints {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"cord/internal/chaos"
 	"cord/internal/record"
 )
 
@@ -54,6 +55,12 @@ type Config struct {
 	// online shard folds across cores (default min(4, runtime.NumCPU())).
 	// 1 disables the fan-out.
 	StreamWorkers int
+
+	// Chaos is the optional fault injector (nil in production): when its
+	// worker-kill knob is armed, completing a campaign shard may terminate
+	// the process before the response is written, so fleet coordinators see
+	// the dropped connection a real worker death produces.
+	Chaos *chaos.Chaos
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +142,15 @@ type Server struct {
 	shardMu sync.Mutex
 	shards  map[shardKey]uint64
 
+	// fleetMu/fleet is the worker registry (see fleet.go): advertised worker
+	// URL -> live registration, expired entries pruned lazily against now.
+	fleetMu sync.Mutex
+	fleet   map[string]*fleetEntry
+
+	// now is time.Now, a field so registry tests and the doc-conformance
+	// suite can freeze the clock and get byte-stable listings.
+	now func() time.Time
+
 	// runDetect/runReplay execute one session; fields so tests can
 	// substitute controllable work.
 	runDetect func(ctx context.Context, req DetectRequest) (*DetectResponse, error)
@@ -152,6 +168,7 @@ func New(cfg Config) *Server {
 		stop:      make(chan struct{}),
 		m:         newMetrics(),
 		start:     time.Now(),
+		now:       time.Now,
 		runDetect: RunDetect,
 		runReplay: RunReplay,
 	}
@@ -161,6 +178,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/campaign/plan", s.handleCampaignPlan)
 	s.mux.HandleFunc("POST /v1/campaign/shard", s.handleCampaignShard)
+	s.mux.HandleFunc("POST /v1/fleet/register", s.handleFleetRegister)
+	s.mux.HandleFunc("GET /v1/fleet/workers", s.handleFleetWorkers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -173,9 +192,13 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Metrics returns a snapshot of the cumulative counters.
+// Metrics returns a snapshot of the cumulative counters. The fleet block's
+// live-worker gauge is sampled at snapshot time (pruning expired entries), so
+// /metrics always reflects current membership, not the last mutation.
 func (s *Server) Metrics() Metrics {
-	return s.m.snapshot(time.Since(s.start), s.cfg.Workers, len(s.queue), cap(s.queue))
+	m := s.m.snapshot(time.Since(s.start), s.cfg.Workers, len(s.queue), cap(s.queue))
+	m.Fleet.LiveWorkers = s.fleetLive()
+	return m
 }
 
 // Shutdown drains the server: new sessions are rejected with 503, every

@@ -1,0 +1,66 @@
+# Shared helpers for the fleet scripts (fleet.sh, fleet-smoke.sh,
+# fleet-chaos-smoke.sh). POSIX sh; source with `. "$(dirname "$0")/fleet-lib.sh"`.
+#
+# Contract: the caller sets DIR to its scratch directory and appends every
+# background pid to PIDS, then calls fleet_trap_cleanup once. The EXIT/INT/TERM
+# trap kills the fleet — FLEET_KILL_SIGNAL chooses how: TERM (default) drains
+# workers cleanly, KILL is for smoke tests that are done with them — waits for
+# the processes, kills any stragglers spawned from $DIR (supervisor children),
+# and removes DIR.
+
+PIDS=""
+
+fleet_cleanup() {
+	sig="${FLEET_KILL_SIGNAL:-TERM}"
+	for pid in $PIDS; do
+		kill -s "$sig" "$pid" 2>/dev/null || true
+	done
+	for pid in $PIDS; do
+		wait "$pid" 2>/dev/null || true
+	done
+	# Supervisor loops run cordd as children the pid list does not cover.
+	if [ -n "${DIR:-}" ]; then
+		pkill -9 -f "$DIR/cordd" 2>/dev/null || true
+		rm -rf "$DIR"
+	fi
+}
+
+fleet_trap_cleanup() {
+	trap fleet_cleanup EXIT INT TERM
+}
+
+# fleet_wait_healthy <base-url> [tries]: poll /healthz every 0.2s.
+fleet_wait_healthy() {
+	url="$1"
+	tries="${2:-50}"
+	j=0
+	until curl -sf "$url/healthz" >/dev/null 2>&1; do
+		j=$((j + 1))
+		if [ "$j" -ge "$tries" ]; then
+			echo "fleet: worker $url did not become healthy" >&2
+			return 1
+		fi
+		sleep 0.2
+	done
+}
+
+# fleet_wait_registered <registry-url> <n> [tries]: poll the §7 listing until
+# it shows n live workers.
+fleet_wait_registered() {
+	reg="$1"
+	want="$2"
+	tries="${3:-50}"
+	j=0
+	while :; do
+		got=$(curl -sf "$reg/v1/fleet/workers" 2>/dev/null | grep -c '"url"' || true)
+		if [ "${got:-0}" -ge "$want" ]; then
+			return 0
+		fi
+		j=$((j + 1))
+		if [ "$j" -ge "$tries" ]; then
+			echo "fleet: registry $reg lists $got of $want workers" >&2
+			return 1
+		fi
+		sleep 0.2
+	done
+}

@@ -11,18 +11,15 @@
 # `make fleet-smoke` runs it locally.
 set -eu
 
+. "$(dirname "$0")/fleet-lib.sh"
+
 BASE="${CORD_FLEET_PORT:-18280}"
 DIR="$(mktemp -d)"
-PIDS=""
 FLAGS="-fig12 -injections 8"
 
-cleanup() {
-	for pid in $PIDS; do
-		kill -9 "$pid" 2>/dev/null || true
-	done
-	rm -rf "$DIR"
-}
-trap cleanup EXIT
+# A smoke test is done with its workers when it exits: no graceful drain.
+FLEET_KILL_SIGNAL=KILL
+fleet_trap_cleanup
 
 fail() {
 	echo "fleet-smoke: FAIL: $*" >&2
@@ -57,13 +54,8 @@ done
 VICTIM_PID="${PIDS##* }"
 VICTIM_PORT=$((BASE + 2))
 
-i=0
-until curl -sf "http://127.0.0.1:$BASE/healthz" >/dev/null 2>&1 &&
-	curl -sf "http://127.0.0.1:$((BASE + 1))/healthz" >/dev/null 2>&1 &&
-	curl -sf "http://127.0.0.1:$VICTIM_PORT/healthz" >/dev/null 2>&1; do
-	i=$((i + 1))
-	[ "$i" -ge 50 ] && fail "workers did not become healthy"
-	sleep 0.2
+for url in $(echo "$URLS" | tr ',' ' '); do
+	fleet_wait_healthy "$url" || fail "workers did not become healthy"
 done
 
 echo "fleet-smoke: dispatching ($FLAGS, one-run shards) across $URLS"
